@@ -1,0 +1,62 @@
+// Shared configuration for the table/figure harnesses.
+//
+// Every harness reads its budgets from the environment so the full paper
+// protocol (hours) and a quick smoke run share one binary:
+//   SPIV_QUICK=1            — small sizes, tight budgets (CI-friendly)
+//   SPIV_SIZES=3,5,10       — override the benchmark sizes
+//   SPIV_SYNTH_TIMEOUT=120  — per-job synthesis budget (seconds)
+//   SPIV_VALIDATE_TIMEOUT=60— per-job validation budget (seconds)
+//   SPIV_VERBOSE=1          — progress on stderr
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "core/experiments.hpp"
+
+namespace spiv::bench {
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atof(v) : fallback;
+}
+
+inline bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v && *v && std::string{v} != "0";
+}
+
+inline std::vector<std::size_t> env_sizes(
+    const std::vector<std::size_t>& fallback) {
+  const char* v = std::getenv("SPIV_SIZES");
+  if (!v) return fallback;
+  std::vector<std::size_t> out;
+  std::stringstream ss{v};
+  std::string tok;
+  while (std::getline(ss, tok, ','))
+    if (!tok.empty()) out.push_back(std::stoul(tok));
+  return out.empty() ? fallback : out;
+}
+
+inline core::ExperimentConfig make_config(double default_synth_timeout,
+                                          double default_validate_timeout) {
+  core::ExperimentConfig config;
+  if (env_flag("SPIV_QUICK")) {
+    config.sizes = {3, 5};
+    config.synth_timeout_seconds = 10.0;
+    config.validate_timeout_seconds = 10.0;
+  } else {
+    config.synth_timeout_seconds = default_synth_timeout;
+    config.validate_timeout_seconds = default_validate_timeout;
+  }
+  config.sizes = env_sizes(config.sizes);
+  config.synth_timeout_seconds =
+      env_double("SPIV_SYNTH_TIMEOUT", config.synth_timeout_seconds);
+  config.validate_timeout_seconds =
+      env_double("SPIV_VALIDATE_TIMEOUT", config.validate_timeout_seconds);
+  config.verbose = env_flag("SPIV_VERBOSE");
+  return config;
+}
+
+}  // namespace spiv::bench

@@ -1,0 +1,115 @@
+// Google-benchmark micro benchmarks for the substrates: exact arithmetic,
+// dense linear algebra, Lyapunov solvers, LMI iterations and validation
+// engines.  These quantify the building blocks behind Tables I/II.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "exact/lyapunov_exact.hpp"
+#include "lyapunov/synthesis.hpp"
+#include "model/reduction.hpp"
+#include "numeric/eigen.hpp"
+#include "numeric/lyapunov.hpp"
+#include "numeric/svd.hpp"
+#include "sdp/lyapunov_lmi.hpp"
+#include "smt/validate.hpp"
+
+namespace {
+
+using namespace spiv;
+using numeric::Matrix;
+
+Matrix random_hurwitz(std::size_t n, unsigned seed) {
+  std::mt19937_64 rng{seed};
+  std::normal_distribution<double> d;
+  Matrix a{n, n};
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = d(rng);
+  const double shift = numeric::spectral_abscissa(a) + 1.0;
+  for (std::size_t i = 0; i < n; ++i) a(i, i) -= shift;
+  return a;
+}
+
+void BM_BigIntMultiply(benchmark::State& state) {
+  const auto limbs = static_cast<unsigned>(state.range(0));
+  exact::BigInt a{"123456789123456789"};
+  exact::BigInt big = a.pow(limbs);
+  for (auto _ : state) benchmark::DoNotOptimize(big * big);
+}
+BENCHMARK(BM_BigIntMultiply)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RationalMatrixMultiply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  exact::RatMatrix m{n, n};
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      m(i, j) = exact::Rational{static_cast<std::int64_t>(i * 31 + j * 17 + 1),
+                                static_cast<std::int64_t>(j + 3)};
+  for (auto _ : state) benchmark::DoNotOptimize(m * m);
+}
+BENCHMARK(BM_RationalMatrixMultiply)->Arg(6)->Arg(13)->Arg(21);
+
+void BM_ComplexSchur(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_hurwitz(n, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(numeric::complex_schur(a));
+}
+BENCHMARK(BM_ComplexSchur)->Arg(6)->Arg(13)->Arg(21);
+
+void BM_BartelsStewart(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_hurwitz(n, 2);
+  Matrix q = Matrix::identity(n);
+  for (auto _ : state) benchmark::DoNotOptimize(numeric::solve_lyapunov(a, q));
+}
+BENCHMARK(BM_BartelsStewart)->Arg(6)->Arg(13)->Arg(21);
+
+void BM_JacobiSvd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_hurwitz(n, 3);
+  for (auto _ : state) benchmark::DoNotOptimize(numeric::svd_decompose(a));
+}
+BENCHMARK(BM_JacobiSvd)->Arg(6)->Arg(13)->Arg(21);
+
+void BM_ExactLyapunovSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_hurwitz(n, 4);
+  exact::RatMatrix a_exact =
+      exact::rat_matrix_from_doubles(a.data().data(), n, n, 4);
+  exact::RatMatrix q = exact::RatMatrix::identity(n);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(exact::solve_lyapunov_exact(a_exact, q));
+}
+BENCHMARK(BM_ExactLyapunovSolve)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_LmiNewtonSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_hurwitz(n, 5);
+  auto problem = sdp::make_lyapunov_lmi(a, sdp::LyapunovLmiConfig{});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        sdp::solve_lmi(problem, sdp::Backend::NewtonAnalyticCenter));
+}
+BENCHMARK(BM_LmiNewtonSolve)->Arg(6)->Arg(13);
+
+void BM_SylvesterValidation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_hurwitz(n, 6);
+  auto p = numeric::solve_lyapunov(a, Matrix::identity(n));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        smt::validate_lyapunov(a, *p, smt::Engine::Sylvester, 10));
+}
+BENCHMARK(BM_SylvesterValidation)->Arg(6)->Arg(13)->Arg(21);
+
+void BM_BalancedTruncation(benchmark::State& state) {
+  const auto order = static_cast<std::size_t>(state.range(0));
+  model::StateSpace engine = model::make_engine_model();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(model::balanced_truncation(engine, order));
+}
+BENCHMARK(BM_BalancedTruncation)->Arg(3)->Arg(10)->Arg(15);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,20 @@
+// Reproduces the paper's §VI-B2 negative result: piecewise-quadratic
+// Lyapunov synthesis for the switched system with two surface encodings.
+//
+// Expected shape: the LMI solver always finds a candidate; the exact
+// validation of the switching-surface condition always fails.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/format.hpp"
+
+int main() {
+  using namespace spiv;
+  core::ExperimentConfig config = bench::make_config(
+      /*synth_timeout=*/120.0, /*validate_timeout=*/60.0);
+  if (!std::getenv("SPIV_SIZES") && !bench::env_flag("SPIV_QUICK"))
+    config.sizes = {3, 5};  // SPIV_SIZES=3,5,10 for the wider run
+  core::PiecewiseResult result = core::run_piecewise(config);
+  std::cout << core::format_piecewise(result);
+  return 0;
+}

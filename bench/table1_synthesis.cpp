@@ -1,0 +1,23 @@
+// Reproduces paper Table I: synthesis and validation of Lyapunov functions
+// for every benchmark size, method, and SDP backend.
+//
+// Expected shape (cf. EXPERIMENTS.md): eq-smt times out at the largest
+// sizes, the numerical methods are fast and validate everywhere, the
+// short-step backend is one to two orders of magnitude slower than the
+// other two, and the aggressive backend may produce occasional invalid
+// candidates on the hardest (LMIa+, largest-size) instances.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/format.hpp"
+
+int main() {
+  using namespace spiv;
+  core::ExperimentConfig config = bench::make_config(
+      /*synth_timeout=*/75.0, /*validate_timeout=*/60.0);
+  core::Table1Result result = core::run_table1(config);
+  std::cout << core::format_table1(result);
+  core::write_file("table1.csv", core::table1_csv(result));
+  std::cout << "(CSV written to table1.csv)\n";
+  return 0;
+}

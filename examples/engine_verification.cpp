@@ -1,0 +1,69 @@
+// The paper's industrial case study, end to end (paper §V + §VI-B):
+// the 18-state turbofan engine under the 2-mode switched PI controller
+// becomes a 21-state autonomous PWA system; both operating modes are
+// proved asymptotically stable with exact (symbolic) certificates.
+//
+// Build & run:  ./build/examples/engine_verification
+#include <cstdio>
+
+#include "lyapunov/synthesis.hpp"
+#include "model/engine.hpp"
+#include "numeric/eigen.hpp"
+#include "smt/validate.hpp"
+
+int main() {
+  using namespace spiv;
+
+  // The engine model (18 states, 3 inputs, 4 outputs) and the switched PI
+  // controller with the paper's gain matrices.
+  model::StateSpace engine = model::make_engine_model();
+  model::SwitchedPiController controller = model::make_engine_controller();
+  numeric::Vector r = model::make_engine_references(engine);
+  std::printf("engine: %zu states, %zu inputs, %zu outputs\n",
+              engine.num_states(), engine.num_inputs(), engine.num_outputs());
+  std::printf("references r = (%.4f, %.4f, %.4f, %.4f), Theta = %.1f\n", r[0],
+              r[1], r[2], r[3], model::kEngineTheta);
+
+  // Close the loop: hybrid system with 21 state variables and two modes.
+  model::PwaSystem system = model::close_loop(engine, controller, r);
+  std::printf("closed loop: %zu state variables, %zu modes\n\n", system.dim(),
+              system.num_modes());
+
+  bool all_proved = true;
+  for (std::size_t mode = 0; mode < system.num_modes(); ++mode) {
+    const numeric::Matrix& a = system.mode(mode).a;
+    std::printf("=== mode %zu (%s) ===\n", mode,
+                mode == 0 ? "thrust control" : "LPC spool-speed limiting");
+    std::printf("  spectral abscissa: %.4f\n", numeric::spectral_abscissa(a));
+
+    // Synthesize with the LMIa method (decay-rate alpha), the method the
+    // paper found most robust, then validate exactly.
+    lyap::SynthesisOptions options;
+    options.alpha = 0.1;
+    auto candidate = lyap::synthesize(a, lyap::Method::LmiAlpha, options);
+    if (!candidate) {
+      std::printf("  synthesis FAILED\n");
+      all_proved = false;
+      continue;
+    }
+    std::printf("  LMIa candidate synthesized in %.2fs\n",
+                candidate->synth_seconds);
+
+    auto verdict = smt::validate_lyapunov(a, candidate->p,
+                                          smt::Engine::Sylvester, 10);
+    std::printf("  exact validation (10 significant digits): %s  [%.2fs]\n",
+                verdict.valid() ? "VALID — mode proved stable" : "FAILED",
+                verdict.seconds());
+    all_proved &= verdict.valid();
+
+    // Equilibrium of the mode and its location w.r.t. the guard.
+    numeric::Vector w_eq = system.mode(mode).equilibrium(r);
+    std::printf("  equilibrium inside its region: %s\n\n",
+                system.mode(mode).contains(w_eq) ? "yes" : "no");
+  }
+
+  std::printf("%s\n", all_proved
+                          ? "both operating modes carry exact stability proofs"
+                          : "verification incomplete");
+  return all_proved ? 0 : 1;
+}

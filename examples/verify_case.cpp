@@ -1,0 +1,134 @@
+// spiv-verify: end-to-end verification of a serialized benchmark case.
+//
+//   ./build/examples/verify_case <case.spivcase> [--method NAME]
+//                                [--digits N] [--timeout SECONDS]
+//
+// Loads a plant + switched-PI-controller case (see export_benchmarks),
+// closes the loop, and for every operating mode:
+//   1. synthesizes a candidate Lyapunov function (default: LMIa),
+//   2. validates both Lyapunov conditions exactly,
+//   3. synthesizes + certifies the robust region and both robustness radii.
+// Exit code 0 iff every mode is proved stable with a certified region.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "lyapunov/synthesis.hpp"
+#include "model/serialize.hpp"
+#include "numeric/eigen.hpp"
+#include "robust/region.hpp"
+#include "smt/validate.hpp"
+
+namespace {
+
+using namespace spiv;
+
+std::optional<lyap::Method> parse_method(const std::string& name) {
+  for (lyap::Method m :
+       {lyap::Method::EqSmt, lyap::Method::EqNum, lyap::Method::Modal,
+        lyap::Method::Lmi, lyap::Method::LmiAlpha, lyap::Method::LmiAlphaPlus})
+    if (lyap::to_string(m) == name) return m;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <case.spivcase> [--method eq-smt|eq-num|modal|"
+                 "LMI|LMIa|LMIa+] [--digits N] [--timeout SECONDS]\n",
+                 argv[0]);
+    return 2;
+  }
+  lyap::Method method = lyap::Method::LmiAlpha;
+  int digits = 10;
+  double timeout = 120.0;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (!std::strcmp(argv[i], "--method")) {
+      auto m = parse_method(argv[i + 1]);
+      if (!m) {
+        std::fprintf(stderr, "unknown method '%s'\n", argv[i + 1]);
+        return 2;
+      }
+      method = *m;
+    } else if (!std::strcmp(argv[i], "--digits")) {
+      digits = std::atoi(argv[i + 1]);
+    } else if (!std::strcmp(argv[i], "--timeout")) {
+      timeout = std::atof(argv[i + 1]);
+    }
+  }
+
+  std::ifstream in{argv[1]};
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 2;
+  }
+  model::BenchmarkModel bm;
+  try {
+    bm = model::read_case(in);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 2;
+  }
+  std::printf("case %s: plant %zu/%zu/%zu, %zu modes, method %s\n",
+              bm.name.c_str(), bm.plant.num_states(), bm.plant.num_inputs(),
+              bm.plant.num_outputs(), bm.controller.num_modes(),
+              lyap::to_string(method).c_str());
+
+  model::PwaSystem sys =
+      model::close_loop(bm.plant, bm.controller, bm.references);
+  bool all_ok = true;
+  for (std::size_t mode = 0; mode < sys.num_modes(); ++mode) {
+    std::printf("mode %zu: abscissa %+.4f  ", mode,
+                numeric::spectral_abscissa(sys.mode(mode).a));
+    lyap::SynthesisOptions options;
+    options.deadline = Deadline::after_seconds(timeout);
+    std::optional<lyap::Candidate> cand;
+    try {
+      cand = lyap::synthesize(sys.mode(mode).a, method, options);
+    } catch (const TimeoutError&) {
+      std::printf("synthesis TIMEOUT\n");
+      all_ok = false;
+      continue;
+    }
+    if (!cand) {
+      std::printf("synthesis FAILED\n");
+      all_ok = false;
+      continue;
+    }
+    smt::CheckOptions check;
+    check.deadline = Deadline::after_seconds(timeout);
+    auto verdict = smt::validate_lyapunov(sys.mode(mode).a, cand->p,
+                                          smt::Engine::Sylvester, digits,
+                                          check);
+    if (!verdict.valid()) {
+      std::printf("exact validation FAILED\n");
+      all_ok = false;
+      continue;
+    }
+    std::printf("stable (exact proof, %.2fs+%.2fs)  ", cand->synth_seconds,
+                verdict.seconds());
+    try {
+      robust::RegionOptions ropt;
+      ropt.digits = digits;
+      ropt.deadline = Deadline::after_seconds(timeout);
+      robust::RobustRegion region =
+          robust::synthesize_region(sys, mode, cand->p, bm.references, ropt);
+      const double eps = robust::reference_robustness_epsilon(
+          sys, mode, cand->p, bm.references, region);
+      const double alpha = robust::state_robustness_radius(
+          sys, mode, cand->p, bm.references, region);
+      std::printf("region k=%.4g cert=%s vol=%.3g alpha=%.3g eps=%.3g\n",
+                  region.k, region.certified ? "yes" : "NO", region.volume,
+                  alpha, eps);
+      all_ok &= region.certified;
+    } catch (const std::exception& e) {
+      std::printf("region synthesis failed: %s\n", e.what());
+      all_ok = false;
+    }
+  }
+  std::printf("%s\n", all_ok ? "VERIFIED" : "NOT VERIFIED");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,308 @@
+#include "core/experiments.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+
+#include "model/switched_pi.hpp"
+
+namespace spiv::core {
+
+using numeric::Matrix;
+using numeric::Vector;
+
+std::string Strategy::name() const {
+  std::string out = lyap::to_string(method);
+  if (backend) out += "/" + backend_name();
+  return out;
+}
+
+std::string Strategy::backend_name() const {
+  return backend ? sdp::to_string(*backend) : "";
+}
+
+std::vector<Strategy> paper_strategies() {
+  std::vector<Strategy> out;
+  out.push_back({lyap::Method::EqSmt, std::nullopt});
+  out.push_back({lyap::Method::EqNum, std::nullopt});
+  out.push_back({lyap::Method::Modal, std::nullopt});
+  for (lyap::Method m :
+       {lyap::Method::Lmi, lyap::Method::LmiAlpha, lyap::Method::LmiAlphaPlus})
+    for (sdp::Backend b :
+         {sdp::Backend::NewtonAnalyticCenter, sdp::Backend::FastInteriorPoint,
+          sdp::Backend::ShortStepBarrier})
+      out.push_back({m, b});
+  return out;
+}
+
+namespace {
+
+/// The per-mode closed-loop matrices of one benchmark model.
+struct ModeCase {
+  std::string model_name;
+  std::size_t size;
+  bool integer_model;
+  std::size_t mode;
+  Matrix a;
+};
+
+std::vector<ModeCase> make_cases(const ExperimentConfig& config) {
+  std::vector<ModeCase> cases;
+  for (const auto& bm : model::make_benchmark_family()) {
+    if (std::find(config.sizes.begin(), config.sizes.end(), bm.size) ==
+        config.sizes.end())
+      continue;
+    const std::vector<model::PiGains> gains = {model::engine_gains_mode0(),
+                                               model::engine_gains_mode1()};
+    for (std::size_t mode = 0; mode < gains.size(); ++mode) {
+      model::PwaMode closed =
+          model::close_loop_single_mode(bm.plant, gains[mode]);
+      cases.push_back(
+          {bm.name, bm.size, bm.integer_rounded, mode, std::move(closed.a)});
+    }
+  }
+  return cases;
+}
+
+}  // namespace
+
+Table1Result run_table1(const ExperimentConfig& config) {
+  Table1Result result;
+  result.strategies = paper_strategies();
+  result.cells.resize(result.strategies.size());
+  const std::vector<ModeCase> cases = make_cases(config);
+
+  for (std::size_t s = 0; s < result.strategies.size(); ++s) {
+    const Strategy& strategy = result.strategies[s];
+    for (const ModeCase& mc : cases) {
+      if (config.verbose)
+        std::cerr << "[table1] " << strategy.name() << " " << mc.model_name
+                  << " mode " << mc.mode << "\n";
+      Table1Cell& cell = result.cells[s][mc.size];
+      ++cell.cases;
+      lyap::SynthesisOptions options;
+      options.alpha = config.alpha;
+      options.nu = config.nu;
+      if (strategy.backend) options.backend = *strategy.backend;
+      options.deadline = Deadline::after_seconds(config.synth_timeout_seconds);
+      std::optional<lyap::Candidate> candidate;
+      try {
+        candidate = lyap::synthesize(mc.a, strategy.method, options);
+      } catch (const TimeoutError&) {
+        ++cell.timeouts;
+        continue;
+      }
+      if (!candidate) continue;
+      ++cell.synthesized;
+      cell.total_synth_seconds += candidate->synth_seconds;
+
+      smt::CheckOptions check;
+      check.deadline =
+          Deadline::after_seconds(config.validate_timeout_seconds);
+      auto validation = smt::validate_lyapunov(
+          mc.a, candidate->p, smt::Engine::Sylvester, config.digits, check);
+      if (validation.valid()) ++cell.valid;
+
+      CandidateRecord record;
+      record.model_name = mc.model_name;
+      record.size = mc.size;
+      record.integer_model = mc.integer_model;
+      record.mode = mc.mode;
+      record.strategy = strategy;
+      record.a = mc.a;
+      record.p = candidate->p;
+      record.synth_seconds = candidate->synth_seconds;
+      result.candidates.push_back(std::move(record));
+    }
+  }
+  return result;
+}
+
+std::string EngineConfig::name() const {
+  return smt::to_string(engine) + (det_encoding ? "+det" : "");
+}
+
+std::vector<EngineConfig> paper_engine_configs() {
+  return {
+      {smt::Engine::SympyGauss, false}, {smt::Engine::Sylvester, false},
+      {smt::Engine::Ldlt, false},       {smt::Engine::Ldlt, true},
+      {smt::Engine::SmtZ3Style, false}, {smt::Engine::SmtZ3Style, true},
+      {smt::Engine::SmtCvc5Style, false}, {smt::Engine::SmtCvc5Style, true},
+  };
+}
+
+Figure3Result run_figure3(const std::vector<CandidateRecord>& candidates,
+                          const ExperimentConfig& config) {
+  Figure3Result result;
+  result.engines = paper_engine_configs();
+  for (std::size_t e = 0; e < result.engines.size(); ++e) {
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (config.verbose)
+        std::cerr << "[figure3] " << result.engines[e].name() << " candidate "
+                  << c << "/" << candidates.size() << "\n";
+      smt::CheckOptions check;
+      check.det_encoding = result.engines[e].det_encoding;
+      check.deadline =
+          Deadline::after_seconds(config.validate_timeout_seconds);
+      const auto t0 = std::chrono::steady_clock::now();
+      auto validation =
+          smt::validate_lyapunov(candidates[c].a, candidates[c].p,
+                                 result.engines[e].engine, config.digits,
+                                 check);
+      ValidationSample sample;
+      sample.candidate_index = c;
+      sample.engine_index = e;
+      sample.seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      if (validation.positivity.outcome == smt::Outcome::Timeout ||
+          validation.decrease.outcome == smt::Outcome::Timeout)
+        sample.outcome = smt::Outcome::Timeout;
+      else if (validation.valid())
+        sample.outcome = smt::Outcome::Valid;
+      else
+        sample.outcome = smt::Outcome::Invalid;
+      result.samples.push_back(sample);
+    }
+  }
+  return result;
+}
+
+RoundingResult run_rounding_study(
+    const std::vector<CandidateRecord>& candidates,
+    const ExperimentConfig& config, const std::vector<int>& digit_levels) {
+  RoundingResult result;
+  result.digit_levels = digit_levels;
+  for (const CandidateRecord& record : candidates) {
+    auto& row = result.counts[record.strategy.name()];
+    if (row.empty()) row.resize(digit_levels.size());
+    for (std::size_t d = 0; d < digit_levels.size(); ++d) {
+      smt::CheckOptions check;
+      check.deadline =
+          Deadline::after_seconds(config.validate_timeout_seconds);
+      auto validation = smt::validate_lyapunov(
+          record.a, record.p, smt::Engine::Sylvester, digit_levels[d], check);
+      if (validation.positivity.outcome == smt::Outcome::Timeout ||
+          validation.decrease.outcome == smt::Outcome::Timeout)
+        ++row[d].timeout;
+      else if (validation.valid())
+        ++row[d].valid;
+      else
+        ++row[d].invalid;
+    }
+  }
+  return result;
+}
+
+Table2Result run_table2(const ExperimentConfig& config,
+                        const std::vector<std::size_t>& sizes) {
+  Table2Result result;
+  for (const auto& bm : model::make_benchmark_family()) {
+    if (bm.integer_rounded) continue;
+    if (std::find(sizes.begin(), sizes.end(), bm.size) == sizes.end())
+      continue;
+    model::PwaSystem system =
+        model::close_loop(bm.plant, bm.controller, bm.references);
+    for (std::size_t mode = 0; mode < system.num_modes(); ++mode) {
+      for (const Strategy& strategy : paper_strategies()) {
+        if (strategy.method == lyap::Method::EqSmt) continue;  // paper: TO
+        if (config.verbose)
+          std::cerr << "[table2] " << bm.name << " mode " << mode << " "
+                    << strategy.name() << "\n";
+        Table2Entry entry;
+        entry.model_name = bm.name;
+        entry.size = bm.size;
+        entry.mode = mode;
+        entry.strategy = strategy;
+        lyap::SynthesisOptions options;
+        options.alpha = config.alpha;
+        options.nu = config.nu;
+        if (strategy.backend) options.backend = *strategy.backend;
+        options.deadline =
+            Deadline::after_seconds(config.synth_timeout_seconds);
+        std::optional<lyap::Candidate> candidate;
+        try {
+          candidate = lyap::synthesize(system.mode(mode).a, strategy.method,
+                                       options);
+        } catch (const TimeoutError&) {
+        }
+        if (!candidate) {
+          result.entries.push_back(std::move(entry));
+          continue;
+        }
+        entry.synthesized = true;
+        try {
+          robust::RegionOptions region_options;
+          region_options.digits = config.digits;
+          region_options.deadline =
+              Deadline::after_seconds(config.validate_timeout_seconds);
+          robust::RobustRegion region = robust::synthesize_region(
+              system, mode, candidate->p, bm.references, region_options);
+          entry.certified = region.certified;
+          entry.optimal = region.optimal;
+          entry.seconds = region.seconds;
+          entry.volume = region.volume;
+          entry.epsilon = robust::reference_robustness_epsilon(
+              system, mode, candidate->p, bm.references, region);
+        } catch (const TimeoutError&) {
+        } catch (const std::runtime_error&) {
+          // e.g. candidate not PD after rounding: leave uncertified.
+        }
+        result.entries.push_back(std::move(entry));
+      }
+    }
+  }
+  return result;
+}
+
+PiecewiseResult run_piecewise(const ExperimentConfig& config) {
+  PiecewiseResult result;
+  const model::StateSpace engine = model::make_engine_model();
+  const model::SwitchedPiController ctrl = model::make_engine_controller();
+  for (std::size_t size : config.sizes) {
+    if (size > 10) continue;  // keep the exact checks tractable
+    model::StateSpace plant =
+        size == engine.num_states()
+            ? engine
+            : model::balanced_truncation(engine, size).sys;
+    // References giving a single global attractor (mode 1 transient).
+    Vector r{0.0, 1.0, 0.5, 1.0};
+    auto mode1 = model::close_loop_single_mode(plant, model::engine_gains_mode1());
+    Vector w_eq = mode1.equilibrium(r);
+    double y0 = 0.0;
+    for (std::size_t j = 0; j < plant.num_states(); ++j)
+      y0 += plant.c(0, j) * w_eq[j];
+    r[0] = y0;
+    model::PwaSystem system = model::close_loop(plant, ctrl, r);
+
+    for (lyap::SurfaceEncoding encoding :
+         {lyap::SurfaceEncoding::Equality, lyap::SurfaceEncoding::Relaxed}) {
+      if (config.verbose)
+        std::cerr << "[piecewise] size " << size << " encoding "
+                  << (encoding == lyap::SurfaceEncoding::Equality ? "equality"
+                                                                  : "relaxed")
+                  << "\n";
+      PiecewiseEntry entry;
+      entry.model_name = "size" + std::to_string(size);
+      entry.encoding = encoding;
+      lyap::PiecewiseOptions options;
+      options.deadline = Deadline::after_seconds(config.synth_timeout_seconds);
+      std::optional<lyap::PiecewiseCandidate> candidate;
+      try {
+        candidate = lyap::synthesize_piecewise(system, r, encoding, options);
+      } catch (const TimeoutError&) {
+      }
+      if (candidate) {
+        entry.candidate_found = true;
+        entry.synth_seconds = candidate->synth_seconds;
+        entry.validation = lyap::validate_piecewise(
+            system, r, *candidate, encoding, config.digits,
+            Deadline::after_seconds(config.validate_timeout_seconds));
+      }
+      result.entries.push_back(entry);
+    }
+  }
+  return result;
+}
+
+}  // namespace spiv::core

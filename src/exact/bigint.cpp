@@ -1,0 +1,486 @@
+#include "exact/bigint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace spiv::exact {
+
+namespace {
+constexpr std::size_t kKaratsubaThreshold = 32;  // limbs
+}  // namespace
+
+BigInt::BigInt(std::int64_t v) {
+  if (v == 0) return;
+  negative_ = v < 0;
+  // Avoid UB on INT64_MIN: negate in unsigned space.
+  std::uint64_t mag =
+      negative_ ? ~static_cast<std::uint64_t>(v) + 1 : static_cast<std::uint64_t>(v);
+  limbs_.push_back(static_cast<Limb>(mag & 0xffffffffu));
+  if (mag >> 32) limbs_.push_back(static_cast<Limb>(mag >> 32));
+}
+
+BigInt::BigInt(std::string_view decimal) {
+  std::size_t i = 0;
+  bool neg = false;
+  if (i < decimal.size() && (decimal[i] == '-' || decimal[i] == '+')) {
+    neg = decimal[i] == '-';
+    ++i;
+  }
+  if (i == decimal.size()) throw std::invalid_argument("BigInt: empty numeral");
+  BigInt acc;
+  const BigInt ten{10};
+  for (; i < decimal.size(); ++i) {
+    char c = decimal[i];
+    if (c < '0' || c > '9')
+      throw std::invalid_argument("BigInt: invalid character in numeral");
+    acc *= ten;
+    acc += BigInt{c - '0'};
+  }
+  limbs_ = std::move(acc.limbs_);
+  negative_ = neg && !limbs_.empty();
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::size_t bits = (limbs_.size() - 1) * kLimbBits;
+  Limb top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+BigInt BigInt::abs() const {
+  BigInt r = *this;
+  r.negative_ = false;
+  return r;
+}
+
+BigInt BigInt::negated() const {
+  BigInt r = *this;
+  if (!r.limbs_.empty()) r.negative_ = !r.negative_;
+  return r;
+}
+
+int BigInt::compare_magnitude(const std::vector<Limb>& a,
+                              const std::vector<Limb>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<BigInt::Limb> BigInt::add_magnitude(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  const auto& longer = a.size() >= b.size() ? a : b;
+  const auto& shorter = a.size() >= b.size() ? b : a;
+  std::vector<Limb> out;
+  out.reserve(longer.size() + 1);
+  DoubleLimb carry = 0;
+  for (std::size_t i = 0; i < longer.size(); ++i) {
+    DoubleLimb s = carry + longer[i];
+    if (i < shorter.size()) s += shorter[i];
+    out.push_back(static_cast<Limb>(s & 0xffffffffu));
+    carry = s >> 32;
+  }
+  if (carry) out.push_back(static_cast<Limb>(carry));
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::sub_magnitude(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  std::vector<Limb> out;
+  out.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t d = static_cast<std::int64_t>(a[i]) - borrow -
+                     (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (d < 0) {
+      d += (std::int64_t{1} << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<Limb>(d));
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::mul_schoolbook(const std::vector<Limb>& a,
+                                                 const std::vector<Limb>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<Limb> out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    DoubleLimb carry = 0;
+    DoubleLimb ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      DoubleLimb cur = static_cast<DoubleLimb>(out[i + j]) + ai * b[j] + carry;
+      out[i + j] = static_cast<Limb>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry) {
+      DoubleLimb cur = static_cast<DoubleLimb>(out[k]) + carry;
+      out[k] = static_cast<Limb>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::mul_karatsuba(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  if (a.size() < kKaratsubaThreshold || b.size() < kKaratsubaThreshold)
+    return mul_schoolbook(a, b);
+  const std::size_t half = std::max(a.size(), b.size()) / 2;
+  auto split = [half](const std::vector<Limb>& v)
+      -> std::pair<std::vector<Limb>, std::vector<Limb>> {
+    std::vector<Limb> lo(v.begin(),
+                         v.begin() + static_cast<std::ptrdiff_t>(
+                                         std::min(half, v.size())));
+    std::vector<Limb> hi;
+    if (v.size() > half)
+      hi.assign(v.begin() + static_cast<std::ptrdiff_t>(half), v.end());
+    while (!lo.empty() && lo.back() == 0) lo.pop_back();
+    return {std::move(lo), std::move(hi)};
+  };
+  auto [a0, a1] = split(a);
+  auto [b0, b1] = split(b);
+  std::vector<Limb> z0 = mul_karatsuba(a0, b0);
+  std::vector<Limb> z2 = mul_karatsuba(a1, b1);
+  std::vector<Limb> sa = add_magnitude(a0, a1);
+  std::vector<Limb> sb = add_magnitude(b0, b1);
+  std::vector<Limb> z1 = mul_karatsuba(sa, sb);
+  z1 = sub_magnitude(z1, z0);
+  z1 = sub_magnitude(z1, z2);
+  // result = z0 + z1 << (32*half) + z2 << (64*half)
+  std::vector<Limb> out(std::max({z0.size(), z1.size() + half, z2.size() + 2 * half}) + 1,
+                        0);
+  auto add_at = [&out](const std::vector<Limb>& v, std::size_t off) {
+    DoubleLimb carry = 0;
+    std::size_t i = 0;
+    for (; i < v.size(); ++i) {
+      DoubleLimb cur = static_cast<DoubleLimb>(out[off + i]) + v[i] + carry;
+      out[off + i] = static_cast<Limb>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    while (carry) {
+      DoubleLimb cur = static_cast<DoubleLimb>(out[off + i]) + carry;
+      out[off + i] = static_cast<Limb>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++i;
+    }
+  };
+  add_at(z0, 0);
+  add_at(z1, half);
+  add_at(z2, 2 * half);
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::mul_magnitude(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  if (a.size() >= kKaratsubaThreshold && b.size() >= kKaratsubaThreshold)
+    return mul_karatsuba(a, b);
+  return mul_schoolbook(a, b);
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (negative_ == rhs.negative_) {
+    limbs_ = add_magnitude(limbs_, rhs.limbs_);
+  } else {
+    int cmp = compare_magnitude(limbs_, rhs.limbs_);
+    if (cmp == 0) {
+      limbs_.clear();
+      negative_ = false;
+    } else if (cmp > 0) {
+      limbs_ = sub_magnitude(limbs_, rhs.limbs_);
+    } else {
+      limbs_ = sub_magnitude(rhs.limbs_, limbs_);
+      negative_ = rhs.negative_;
+    }
+  }
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) { return *this += rhs.negated(); }
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  negative_ = negative_ != rhs.negative_;
+  limbs_ = mul_magnitude(limbs_, rhs.limbs_);
+  trim();
+  return *this;
+}
+
+std::pair<std::vector<BigInt::Limb>, std::vector<BigInt::Limb>>
+BigInt::divmod_magnitude(const std::vector<Limb>& num,
+                         const std::vector<Limb>& den) {
+  if (den.empty()) throw std::domain_error("BigInt: division by zero");
+  if (compare_magnitude(num, den) < 0) return {{}, num};
+  if (den.size() == 1) {
+    // Fast path: single-limb divisor.
+    std::vector<Limb> quot(num.size(), 0);
+    DoubleLimb rem = 0;
+    DoubleLimb d = den[0];
+    for (std::size_t i = num.size(); i-- > 0;) {
+      DoubleLimb cur = (rem << 32) | num[i];
+      quot[i] = static_cast<Limb>(cur / d);
+      rem = cur % d;
+    }
+    while (!quot.empty() && quot.back() == 0) quot.pop_back();
+    std::vector<Limb> r;
+    if (rem) r.push_back(static_cast<Limb>(rem));
+    return {std::move(quot), std::move(r)};
+  }
+  // Knuth algorithm D with normalization.
+  unsigned shift = 0;
+  Limb top = den.back();
+  while ((top & 0x80000000u) == 0) {
+    top <<= 1;
+    ++shift;
+  }
+  auto shl = [](const std::vector<Limb>& v, unsigned s) {
+    if (s == 0) return v;
+    std::vector<Limb> out(v.size() + 1, 0);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      out[i] |= v[i] << s;
+      out[i + 1] = v[i] >> (32 - s);
+    }
+    while (!out.empty() && out.back() == 0) out.pop_back();
+    return out;
+  };
+  std::vector<Limb> u = shl(num, shift);
+  std::vector<Limb> v = shl(den, shift);
+  const std::size_t n = v.size();
+  const std::size_t m = u.size() - n;
+  u.resize(u.size() + 1, 0);  // extra high limb
+  std::vector<Limb> quot(m + 1, 0);
+  const DoubleLimb base = DoubleLimb{1} << 32;
+  for (std::size_t j = m + 1; j-- > 0;) {
+    DoubleLimb numerator = (static_cast<DoubleLimb>(u[j + n]) << 32) | u[j + n - 1];
+    DoubleLimb qhat = numerator / v[n - 1];
+    DoubleLimb rhat = numerator % v[n - 1];
+    while (qhat >= base ||
+           qhat * v[n - 2] > ((rhat << 32) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= base) break;
+    }
+    // Multiply-subtract qhat*v from u[j..j+n].
+    std::int64_t borrow = 0;
+    DoubleLimb carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      DoubleLimb p = qhat * v[i] + carry;
+      carry = p >> 32;
+      std::int64_t t = static_cast<std::int64_t>(u[i + j]) -
+                       static_cast<std::int64_t>(p & 0xffffffffu) - borrow;
+      if (t < 0) {
+        t += static_cast<std::int64_t>(base);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<Limb>(t);
+    }
+    std::int64_t t = static_cast<std::int64_t>(u[j + n]) -
+                     static_cast<std::int64_t>(carry) - borrow;
+    if (t < 0) {
+      // qhat was one too large: add back.
+      t += static_cast<std::int64_t>(base);
+      --qhat;
+      DoubleLimb c2 = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        DoubleLimb s = static_cast<DoubleLimb>(u[i + j]) + v[i] + c2;
+        u[i + j] = static_cast<Limb>(s & 0xffffffffu);
+        c2 = s >> 32;
+      }
+      t += static_cast<std::int64_t>(c2);
+      t &= static_cast<std::int64_t>(base - 1);
+    }
+    u[j + n] = static_cast<Limb>(t);
+    quot[j] = static_cast<Limb>(qhat);
+  }
+  while (!quot.empty() && quot.back() == 0) quot.pop_back();
+  // Remainder = u[0..n) >> shift.
+  std::vector<Limb> rem(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  if (shift) {
+    for (std::size_t i = 0; i + 1 < rem.size(); ++i)
+      rem[i] = (rem[i] >> shift) | (rem[i + 1] << (32 - shift));
+    rem.back() >>= shift;
+  }
+  while (!rem.empty() && rem.back() == 0) rem.pop_back();
+  return {std::move(quot), std::move(rem)};
+}
+
+std::pair<BigInt, BigInt> BigInt::div_mod(const BigInt& num, const BigInt& den) {
+  auto [qm, rm] = divmod_magnitude(num.limbs_, den.limbs_);
+  BigInt q, r;
+  q.limbs_ = std::move(qm);
+  r.limbs_ = std::move(rm);
+  q.negative_ = !q.limbs_.empty() && (num.negative_ != den.negative_);
+  r.negative_ = !r.limbs_.empty() && num.negative_;
+  return {std::move(q), std::move(r)};
+}
+
+BigInt& BigInt::operator/=(const BigInt& rhs) {
+  *this = div_mod(*this, rhs).first;
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& rhs) {
+  *this = div_mod(*this, rhs).second;
+  return *this;
+}
+
+std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) {
+  if (a.negative_ != b.negative_)
+    return a.negative_ ? std::strong_ordering::less
+                       : std::strong_ordering::greater;
+  int cmp = BigInt::compare_magnitude(a.limbs_, b.limbs_);
+  if (a.negative_) cmp = -cmp;
+  if (cmp < 0) return std::strong_ordering::less;
+  if (cmp > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::pow(unsigned e) const {
+  BigInt base = *this;
+  BigInt result{1};
+  while (e != 0) {
+    if (e & 1u) result *= base;
+    e >>= 1;
+    if (e != 0) base *= base;
+  }
+  return result;
+}
+
+BigInt BigInt::pow10(unsigned e) { return BigInt{10}.pow(e); }
+
+BigInt BigInt::shifted_left(std::size_t bits) const {
+  if (is_zero() || bits == 0) return *this;
+  BigInt out;
+  out.negative_ = negative_;
+  const std::size_t limb_shift = bits / kLimbBits;
+  const unsigned bit_shift = static_cast<unsigned>(bits % kLimbBits);
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= bit_shift ? (limbs_[i] << bit_shift) : limbs_[i];
+    if (bit_shift)
+      out.limbs_[i + limb_shift + 1] = limbs_[i] >> (kLimbBits - bit_shift);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::shifted_right(std::size_t bits) const {
+  if (is_zero()) return {};
+  const std::size_t limb_shift = bits / kLimbBits;
+  if (limb_shift >= limbs_.size()) return {};
+  const unsigned bit_shift = static_cast<unsigned>(bits % kLimbBits);
+  BigInt out;
+  out.negative_ = negative_;
+  out.limbs_.assign(limbs_.begin() + static_cast<std::ptrdiff_t>(limb_shift),
+                    limbs_.end());
+  if (bit_shift) {
+    for (std::size_t i = 0; i + 1 < out.limbs_.size(); ++i)
+      out.limbs_[i] =
+          (out.limbs_[i] >> bit_shift) | (out.limbs_[i + 1] << (kLimbBits - bit_shift));
+    out.limbs_.back() >>= bit_shift;
+  }
+  out.trim();
+  return out;
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  // Repeated division by 1e9 (fits in a limb-sized chunk).
+  std::vector<Limb> mag = limbs_;
+  std::string digits;
+  const DoubleLimb chunk = 1000000000ull;
+  while (!mag.empty()) {
+    DoubleLimb rem = 0;
+    for (std::size_t i = mag.size(); i-- > 0;) {
+      DoubleLimb cur = (rem << 32) | mag[i];
+      mag[i] = static_cast<Limb>(cur / chunk);
+      rem = cur % chunk;
+    }
+    while (!mag.empty() && mag.back() == 0) mag.pop_back();
+    for (int d = 0; d < 9; ++d) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+double BigInt::to_double() const {
+  if (is_zero()) return 0.0;
+  // Use the top 64 bits of the magnitude plus the exponent.
+  const std::size_t bits = bit_length();
+  double result;
+  if (bits <= 64) {
+    std::uint64_t mag = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;)
+      mag = (mag << 32) | limbs_[i];
+    result = static_cast<double>(mag);
+  } else {
+    BigInt top = shifted_right(bits - 64);
+    std::uint64_t mag = 0;
+    for (std::size_t i = top.limbs_.size(); i-- > 0;)
+      mag = (mag << 32) | top.limbs_[i];
+    result = std::ldexp(static_cast<double>(mag),
+                        static_cast<int>(bits - 64));
+  }
+  return negative_ ? -result : result;
+}
+
+bool BigInt::fits_int64() const {
+  if (limbs_.size() > 2) return false;
+  if (limbs_.size() < 2) return true;
+  std::uint64_t mag = (static_cast<std::uint64_t>(limbs_[1]) << 32) | limbs_[0];
+  if (negative_) return mag <= (std::uint64_t{1} << 63);
+  return mag < (std::uint64_t{1} << 63);
+}
+
+std::int64_t BigInt::to_int64() const {
+  if (!fits_int64()) throw std::range_error("BigInt: value does not fit int64");
+  if (is_zero()) return 0;
+  std::uint64_t mag = limbs_[0];
+  if (limbs_.size() == 2) mag |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (negative_) return static_cast<std::int64_t>(~mag + 1);
+  return static_cast<std::int64_t>(mag);
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& v) {
+  return os << v.to_string();
+}
+
+}  // namespace spiv::exact

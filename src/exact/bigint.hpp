@@ -1,0 +1,141 @@
+// spiv::exact — arbitrary-precision signed integer arithmetic.
+//
+// BigInt is the foundation of the exact (symbolic) layer used for the
+// SMT-style validation of Lyapunov candidates.  It is a sign-magnitude
+// number with base-2^32 limbs stored little-endian.  All operations are
+// exact; overflow cannot occur.  Performance targets are the matrix sizes
+// of the paper (up to ~22x22 rational matrices, vech systems of a few
+// hundred unknowns); multiplication uses schoolbook with uint64
+// accumulation plus Karatsuba above a threshold.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spiv::exact {
+
+/// Arbitrary-precision signed integer (sign-magnitude, base 2^32).
+///
+/// Invariants:
+///  - limbs_ has no trailing zero limbs (most significant limb nonzero),
+///  - zero is represented by an empty limb vector and negative_ == false.
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// From a native signed integer.
+  BigInt(std::int64_t v);  // NOLINT(google-explicit-constructor): numeric literal convenience
+
+  /// Parse a base-10 string: optional leading '-' or '+', then digits.
+  /// Throws std::invalid_argument on malformed input.
+  explicit BigInt(std::string_view decimal);
+
+  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
+  [[nodiscard]] bool is_negative() const { return negative_; }
+  [[nodiscard]] bool is_one() const {
+    return !negative_ && limbs_.size() == 1 && limbs_[0] == 1;
+  }
+
+  /// Number of significant bits of |*this| (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const;
+
+  /// Sign as -1, 0, +1.
+  [[nodiscard]] int sign() const {
+    return is_zero() ? 0 : (negative_ ? -1 : 1);
+  }
+
+  [[nodiscard]] BigInt abs() const;
+  [[nodiscard]] BigInt negated() const;
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  /// Truncated division (C semantics: quotient rounds toward zero).
+  /// Throws std::domain_error on division by zero.
+  BigInt& operator/=(const BigInt& rhs);
+  /// Remainder matching truncated division: sign follows the dividend.
+  BigInt& operator%=(const BigInt& rhs);
+
+  friend BigInt operator+(BigInt a, const BigInt& b) { return a += b; }
+  friend BigInt operator-(BigInt a, const BigInt& b) { return a -= b; }
+  friend BigInt operator*(BigInt a, const BigInt& b) { return a *= b; }
+  friend BigInt operator/(BigInt a, const BigInt& b) { return a /= b; }
+  friend BigInt operator%(BigInt a, const BigInt& b) { return a %= b; }
+  BigInt operator-() const { return negated(); }
+
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return a.negative_ == b.negative_ && a.limbs_ == b.limbs_;
+  }
+  friend std::strong_ordering operator<=>(const BigInt& a, const BigInt& b);
+
+  /// Quotient and remainder in one pass (truncated division).
+  [[nodiscard]] static std::pair<BigInt, BigInt> div_mod(const BigInt& num,
+                                                         const BigInt& den);
+
+  /// Greatest common divisor, always non-negative. gcd(0,0) == 0.
+  [[nodiscard]] static BigInt gcd(BigInt a, BigInt b);
+
+  /// this^e for e >= 0 (binary exponentiation).
+  [[nodiscard]] BigInt pow(unsigned e) const;
+
+  /// 10^e.
+  [[nodiscard]] static BigInt pow10(unsigned e);
+
+  /// Multiply by 2^k (limb/bit shifts).
+  [[nodiscard]] BigInt shifted_left(std::size_t bits) const;
+  /// Divide by 2^k, truncating toward zero.
+  [[nodiscard]] BigInt shifted_right(std::size_t bits) const;
+
+  /// Base-10 representation (with leading '-' when negative).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Nearest double (round-to-nearest via long-division scaling);
+  /// may overflow to +/-inf for huge values.
+  [[nodiscard]] double to_double() const;
+
+  /// Exact conversion when the value fits in int64; throws std::range_error
+  /// otherwise.
+  [[nodiscard]] std::int64_t to_int64() const;
+
+  /// True when the value fits in int64.
+  [[nodiscard]] bool fits_int64() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const BigInt& v);
+
+  /// Total limb count (for diagnostics / complexity experiments).
+  [[nodiscard]] std::size_t limb_count() const { return limbs_.size(); }
+
+ private:
+  using Limb = std::uint32_t;
+  using DoubleLimb = std::uint64_t;
+  static constexpr unsigned kLimbBits = 32;
+
+  std::vector<Limb> limbs_;  // little-endian, no trailing zeros
+  bool negative_ = false;
+
+  void trim();
+  // |a| vs |b|
+  static int compare_magnitude(const std::vector<Limb>& a,
+                               const std::vector<Limb>& b);
+  static std::vector<Limb> add_magnitude(const std::vector<Limb>& a,
+                                         const std::vector<Limb>& b);
+  // requires |a| >= |b|
+  static std::vector<Limb> sub_magnitude(const std::vector<Limb>& a,
+                                         const std::vector<Limb>& b);
+  static std::vector<Limb> mul_magnitude(const std::vector<Limb>& a,
+                                         const std::vector<Limb>& b);
+  static std::vector<Limb> mul_schoolbook(const std::vector<Limb>& a,
+                                          const std::vector<Limb>& b);
+  static std::vector<Limb> mul_karatsuba(const std::vector<Limb>& a,
+                                         const std::vector<Limb>& b);
+  // long division of magnitudes; returns {quot, rem}
+  static std::pair<std::vector<Limb>, std::vector<Limb>> divmod_magnitude(
+      const std::vector<Limb>& num, const std::vector<Limb>& den);
+};
+
+}  // namespace spiv::exact

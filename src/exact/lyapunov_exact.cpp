@@ -1,0 +1,152 @@
+#include "exact/lyapunov_exact.hpp"
+
+#include <stdexcept>
+
+namespace spiv::exact {
+
+std::size_t vech_index(std::size_t i, std::size_t j, std::size_t n) {
+  if (i < j) std::swap(i, j);
+  // Column j contributes (n - j) entries; offset within column is i - j.
+  return j * n - j * (j + 1) / 2 + i;
+}
+
+std::vector<Rational> vech(const RatMatrix& m) {
+  if (!m.is_square())
+    throw std::invalid_argument("vech: matrix must be square");
+  const std::size_t n = m.rows();
+  std::vector<Rational> out(n * (n + 1) / 2);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = j; i < n; ++i) out[vech_index(i, j, n)] = m(i, j);
+  return out;
+}
+
+RatMatrix unvech(const std::vector<Rational>& v, std::size_t n) {
+  if (v.size() != n * (n + 1) / 2)
+    throw std::invalid_argument("unvech: size mismatch");
+  RatMatrix m{n, n};
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = j; i < n; ++i) {
+      m(i, j) = v[vech_index(i, j, n)];
+      m(j, i) = m(i, j);
+    }
+  return m;
+}
+
+RatMatrix lyapunov_operator_vech(const RatMatrix& a, const Deadline& deadline) {
+  if (!a.is_square())
+    throw std::invalid_argument("lyapunov_operator_vech: A must be square");
+  const std::size_t n = a.rows();
+  const std::size_t big_n = n * (n + 1) / 2;
+  RatMatrix op{big_n, big_n};
+  const RatMatrix at = a.transposed();
+  // Column for the symmetric basis matrix E_{ij} (ones at (i,j),(j,i)).
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = j; i < n; ++i) {
+      deadline.check();
+      RatMatrix e{n, n};
+      e(i, j) = Rational{1};
+      e(j, i) = Rational{1};
+      RatMatrix f = at * e + e * a;
+      const std::size_t col = vech_index(i, j, n);
+      for (std::size_t jj = 0; jj < n; ++jj)
+        for (std::size_t ii = jj; ii < n; ++ii)
+          op(vech_index(ii, jj, n), col) = f(ii, jj);
+    }
+  }
+  return op;
+}
+
+namespace {
+
+/// Deadline-aware exact Gaussian elimination solve (single RHS).
+std::optional<std::vector<Rational>> solve_with_deadline(
+    RatMatrix m, std::vector<Rational> rhs, const Deadline& deadline) {
+  const std::size_t n = m.rows();
+  for (std::size_t col = 0; col < n; ++col) {
+    deadline.check();
+    std::size_t pivot = n;
+    std::size_t best_bits = 0;
+    for (std::size_t r = col; r < n; ++r) {
+      if (m(r, col).is_zero()) continue;
+      const std::size_t bits = m(r, col).bit_size();
+      if (pivot == n || bits < best_bits) {
+        pivot = r;
+        best_bits = bits;
+      }
+    }
+    if (pivot == n) return std::nullopt;
+    if (pivot != col) {
+      for (std::size_t j = col; j < n; ++j) std::swap(m(pivot, j), m(col, j));
+      std::swap(rhs[pivot], rhs[col]);
+    }
+    const Rational inv_pivot = m(col, col).reciprocal();
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (m(r, col).is_zero()) continue;
+      deadline.check();
+      const Rational factor = m(r, col) * inv_pivot;
+      m(r, col) = Rational{};
+      for (std::size_t j = col + 1; j < n; ++j) {
+        if (m(col, j).is_zero()) continue;
+        m(r, j) -= factor * m(col, j);
+      }
+      if (!rhs[col].is_zero()) rhs[r] -= factor * rhs[col];
+    }
+  }
+  std::vector<Rational> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    deadline.check();
+    Rational acc = rhs[i];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (m(i, j).is_zero() || x[j].is_zero()) continue;
+      acc -= m(i, j) * x[j];
+    }
+    x[i] = acc / m(i, i);
+  }
+  return x;
+}
+
+}  // namespace
+
+std::optional<RatMatrix> solve_lyapunov_exact(const RatMatrix& a,
+                                              const RatMatrix& q,
+                                              const Deadline& deadline) {
+  if (!a.is_square() || !q.is_square() || a.rows() != q.rows())
+    throw std::invalid_argument("solve_lyapunov_exact: shape mismatch");
+  if (!q.is_symmetric())
+    throw std::invalid_argument("solve_lyapunov_exact: Q must be symmetric");
+  const std::size_t n = a.rows();
+  RatMatrix op = lyapunov_operator_vech(a, deadline);
+  std::vector<Rational> rhs = vech(-q);
+  auto x = solve_with_deadline(std::move(op), std::move(rhs), deadline);
+  if (!x) return std::nullopt;
+  return unvech(*x, n);
+}
+
+RatMatrix lyapunov_residual(const RatMatrix& a, const RatMatrix& p,
+                            const RatMatrix& q) {
+  return a.transposed() * p + p * a + q;
+}
+
+std::optional<RatMatrix> solve_lyapunov_exact_full_kronecker(
+    const RatMatrix& a, const RatMatrix& q, const Deadline& deadline) {
+  if (!a.is_square() || !q.is_square() || a.rows() != q.rows())
+    throw std::invalid_argument("solve_lyapunov_exact_full_kronecker: shape");
+  const std::size_t n = a.rows();
+  const RatMatrix at = a.transposed();
+  // vec(A^T P) = (I (x) A^T) vec(P); vec(P A) = (A^T (x) I) vec(P),
+  // with vec() stacking columns.
+  RatMatrix op = kronecker(RatMatrix::identity(n), at) +
+                 kronecker(at, RatMatrix::identity(n));
+  std::vector<Rational> rhs(n * n);
+  for (std::size_t col = 0; col < n; ++col)
+    for (std::size_t row = 0; row < n; ++row)
+      rhs[col * n + row] = -q(row, col);
+  auto x = solve_with_deadline(std::move(op), std::move(rhs), deadline);
+  if (!x) return std::nullopt;
+  RatMatrix p{n, n};
+  for (std::size_t col = 0; col < n; ++col)
+    for (std::size_t row = 0; row < n; ++row) p(row, col) = (*x)[col * n + row];
+  return p.symmetrized();
+}
+
+}  // namespace spiv::exact

@@ -1,0 +1,51 @@
+// spiv — cooperative deadlines for long-running exact/symbolic computations.
+//
+// The paper runs every synthesis/validation job under a wall-clock budget
+// (2 h in their cluster setup); the exact Lyapunov solve (eq-smt) times out
+// at plant sizes 15 and 18.  We reproduce that behaviour with a cooperative
+// Deadline checked inside the expensive inner loops.
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+
+namespace spiv {
+
+/// Thrown by deadline-aware algorithms when the budget is exhausted.
+class TimeoutError : public std::runtime_error {
+ public:
+  TimeoutError() : std::runtime_error("computation exceeded its deadline") {}
+};
+
+/// A wall-clock budget.  Default-constructed deadlines never expire.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires.
+  Deadline() = default;
+
+  /// Expires `budget` from now.
+  explicit Deadline(std::chrono::duration<double> budget)
+      : expiry_(Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(budget)) {}
+
+  [[nodiscard]] static Deadline after_seconds(double s) {
+    return Deadline{std::chrono::duration<double>(s)};
+  }
+
+  [[nodiscard]] bool expired() const {
+    return expiry_ && Clock::now() > *expiry_;
+  }
+
+  /// Throws TimeoutError when expired.
+  void check() const {
+    if (expired()) throw TimeoutError{};
+  }
+
+ private:
+  std::optional<Clock::time_point> expiry_;
+};
+
+}  // namespace spiv

@@ -1,0 +1,330 @@
+#include "lyapunov/piecewise.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "sdp/lyapunov_lmi.hpp"
+#include "smt/charpoly.hpp"
+#include "smt/validate.hpp"
+
+namespace spiv::lyap {
+
+using numeric::Matrix;
+using numeric::Vector;
+
+namespace {
+
+/// Geometry of the 2-mode problem in coordinates shifted to the nominal
+/// (mode-0) equilibrium x*.
+struct Setup {
+  std::size_t d;     ///< state dimension
+  Matrix a0;         ///< mode-0 flow (drift vanishes at x*)
+  Matrix a1_aug;     ///< (d+1)x(d+1) augmented mode-1 flow [[A1, d1],[0,0]]
+  Vector s_bar;      ///< (d+1): surface functional s(v) = s_bar . (v,1),
+                     ///< positive on R_0
+  Matrix s0_matrix;  ///< sym(s_bar e^T): quadratic region term
+};
+
+Setup make_setup(const model::PwaSystem& system, const Vector& r) {
+  if (system.num_modes() != 2)
+    throw std::invalid_argument("piecewise: exactly 2 modes supported");
+  if (system.mode(0).region.size() != 1)
+    throw std::invalid_argument("piecewise: single-surface systems only");
+  Setup s;
+  s.d = system.dim();
+  const Vector x_star = system.mode(0).equilibrium(r);
+  s.a0 = system.mode(0).a;
+
+  const model::PwaMode& m1 = system.mode(1);
+  Vector d1 = m1.a.apply(x_star);
+  const Vector drift = m1.drift(r);
+  for (std::size_t i = 0; i < d1.size(); ++i) d1[i] += drift[i];
+  s.a1_aug = Matrix{s.d + 1, s.d + 1};
+  s.a1_aug.set_block(0, 0, m1.a);
+  for (std::size_t i = 0; i < s.d; ++i) s.a1_aug(i, s.d) = d1[i];
+
+  const model::HalfSpace& hs = system.mode(0).region[0];
+  s.s_bar = Vector(s.d + 1, 0.0);
+  for (std::size_t i = 0; i < s.d; ++i) s.s_bar[i] = hs.g[i];
+  s.s_bar[s.d] = hs.h + numeric::dot(hs.g, x_star);
+
+  s.s0_matrix = Matrix{s.d + 1, s.d + 1};
+  for (std::size_t i = 0; i <= s.d; ++i) {
+    s.s0_matrix(i, s.d) += s.s_bar[i];
+    s.s0_matrix(s.d, i) += s.s_bar[i];
+  }
+  return s;
+}
+
+/// Variable layout: vech(P0) (d x d) | vech(P1aug) ((d+1) x (d+1)) |
+/// mu1 | eta1 | qa (d+1) | qb (d+1, Relaxed only).
+struct VarMap {
+  std::size_t d, dd;
+  std::size_t p0_offset = 0;
+  std::size_t p0_count, p1_count;
+  std::size_t p1_offset, mu1, eta1, qa_offset, qb_offset, total;
+
+  VarMap(std::size_t dim, bool relaxed) : d(dim), dd(dim + 1) {
+    p0_count = d * (d + 1) / 2;
+    p1_count = dd * (dd + 1) / 2;
+    p1_offset = p0_count;
+    mu1 = p1_offset + p1_count;
+    eta1 = mu1 + 1;
+    qa_offset = eta1 + 1;
+    qb_offset = qa_offset + dd;
+    total = relaxed ? qb_offset + dd : qb_offset;
+  }
+};
+
+/// Coefficient of variable k in the d x d block P0, embedded into an
+/// n x n frame at offset 0 (n = d or d+1).
+Matrix embedded_basis(std::size_t k, std::size_t block_dim,
+                      std::size_t frame_dim) {
+  Matrix e = sdp::vech_basis_matrix(k, block_dim);
+  if (block_dim == frame_dim) return e;
+  Matrix out{frame_dim, frame_dim};
+  out.set_block(0, 0, e);
+  return out;
+}
+
+}  // namespace
+
+std::optional<PiecewiseCandidate> synthesize_piecewise(
+    const model::PwaSystem& system, const Vector& r, SurfaceEncoding encoding,
+    const PiecewiseOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  const Setup setup = make_setup(system, r);
+  const std::size_t d = setup.d;
+  const std::size_t dd = d + 1;
+  const bool relaxed = encoding == SurfaceEncoding::Relaxed;
+  const VarMap vars{d, relaxed};
+
+  sdp::LmiProblem problem;
+  problem.num_vars = vars.total;
+  auto zero_coeffs = [&vars](std::size_t dim) {
+    return std::vector<Matrix>(vars.total, Matrix{dim, dim});
+  };
+
+  // (1) pos0: P0 > 0  (mode 0 is centered at the equilibrium, so the
+  // augmented row/column of Pbar_0 is identically zero and positivity
+  // reduces to the d x d block).
+  {
+    auto coeffs = zero_coeffs(d);
+    for (std::size_t k = 0; k < vars.p0_count; ++k)
+      coeffs[vars.p0_offset + k] = embedded_basis(k, d, d);
+    problem.constraints.emplace_back(Matrix{d, d}, std::move(coeffs));
+  }
+  // (2) normalization kappa I - P0 > 0.
+  {
+    auto coeffs = zero_coeffs(d);
+    for (std::size_t k = 0; k < vars.p0_count; ++k)
+      coeffs[vars.p0_offset + k] = -embedded_basis(k, d, d);
+    Matrix f0 = Matrix::identity(d) * options.kappa;
+    problem.constraints.emplace_back(std::move(f0), std::move(coeffs));
+  }
+  // (3) pos1: P1aug + mu1 * S0 > 0 on R1 via the S-procedure.
+  {
+    auto coeffs = zero_coeffs(dd);
+    for (std::size_t k = 0; k < vars.p1_count; ++k)
+      coeffs[vars.p1_offset + k] = embedded_basis(k, dd, dd);
+    coeffs[vars.mu1] = setup.s0_matrix;
+    problem.constraints.emplace_back(Matrix{dd, dd}, std::move(coeffs));
+  }
+  // (4) normalization kappa I - P1aug > 0.
+  {
+    auto coeffs = zero_coeffs(dd);
+    for (std::size_t k = 0; k < vars.p1_count; ++k)
+      coeffs[vars.p1_offset + k] = -embedded_basis(k, dd, dd);
+    Matrix f0 = Matrix::identity(dd) * options.kappa;
+    problem.constraints.emplace_back(std::move(f0), std::move(coeffs));
+  }
+  // (5) dec0: -(A0^T P0 + P0 A0) > 0.
+  {
+    auto coeffs = zero_coeffs(d);
+    const Matrix a0t = setup.a0.transposed();
+    for (std::size_t k = 0; k < vars.p0_count; ++k) {
+      Matrix e = embedded_basis(k, d, d);
+      coeffs[vars.p0_offset + k] = -(a0t * e) - e * setup.a0;
+    }
+    problem.constraints.emplace_back(Matrix{d, d}, std::move(coeffs));
+  }
+  // (6) dec1: -(A1aug^T P1 + P1 A1aug) + eta1 * S0 > 0 on R1.
+  {
+    auto coeffs = zero_coeffs(dd);
+    const Matrix a1t = setup.a1_aug.transposed();
+    for (std::size_t k = 0; k < vars.p1_count; ++k) {
+      Matrix e = embedded_basis(k, dd, dd);
+      coeffs[vars.p1_offset + k] = -(a1t * e) - e * setup.a1_aug;
+    }
+    coeffs[vars.eta1] = setup.s0_matrix;
+    problem.constraints.emplace_back(Matrix{dd, dd}, std::move(coeffs));
+  }
+  // (7) multipliers nonnegative (1x1 blocks).
+  for (std::size_t var : {vars.mu1, vars.eta1}) {
+    auto coeffs = zero_coeffs(1);
+    coeffs[var] = Matrix{{1.0}};
+    problem.constraints.emplace_back(Matrix{1, 1}, std::move(coeffs));
+  }
+  // (8) surface condition with numerical slack delta:
+  //     E := P0ext - P1aug - sym(qa s^T);
+  //     Equality:  delta I - E > 0 and delta I + E > 0;
+  //     Relaxed :  delta I - (P1 - P0 - sym(qa s^T)) > 0  (crossing 0->1)
+  //                delta I - (P0 - P1 - sym(qb s^T)) > 0  (crossing 1->0).
+  auto add_surface_block = [&](double sign_p, std::size_t q_offset) {
+    // delta I + sign_p * (P0ext - P1aug) + sym(q s^T) > 0.
+    auto coeffs = zero_coeffs(dd);
+    for (std::size_t k = 0; k < vars.p0_count; ++k)
+      coeffs[vars.p0_offset + k] = sign_p * embedded_basis(k, d, dd);
+    for (std::size_t k = 0; k < vars.p1_count; ++k)
+      coeffs[vars.p1_offset + k] = -sign_p * embedded_basis(k, dd, dd);
+    for (std::size_t i = 0; i < dd; ++i) {
+      Matrix m{dd, dd};
+      for (std::size_t j = 0; j < dd; ++j) {
+        m(i, j) += setup.s_bar[j];
+        m(j, i) += setup.s_bar[j];
+      }
+      coeffs[q_offset + i] = std::move(m);
+    }
+    Matrix f0 = Matrix::identity(dd) * options.slack;
+    problem.constraints.emplace_back(std::move(f0), std::move(coeffs));
+  };
+  if (relaxed) {
+    add_surface_block(+1.0, vars.qa_offset);  // P1 - P0 <= sym(qa s^T) + dI
+    add_surface_block(-1.0, vars.qb_offset);  // P0 - P1 <= sym(qb s^T) + dI
+  } else {
+    add_surface_block(+1.0, vars.qa_offset);
+    add_surface_block(-1.0, vars.qa_offset);
+  }
+
+  sdp::LmiOptions lmi_options;
+  lmi_options.deadline = options.deadline;
+  lmi_options.target_margin = options.slack * 1e-3;
+  auto sol = sdp::solve_lmi(problem, options.backend, lmi_options);
+  if (!sol.feasible) return std::nullopt;
+
+  PiecewiseCandidate c;
+  c.p0_aug = Matrix{dd, dd};
+  c.p0_aug.set_block(0, 0,
+                     sdp::unvech_double(
+                         Vector(sol.p.begin() + static_cast<std::ptrdiff_t>(
+                                                    vars.p0_offset),
+                                sol.p.begin() + static_cast<std::ptrdiff_t>(
+                                                    vars.p0_offset +
+                                                    vars.p0_count)),
+                         d));
+  c.p1_aug = sdp::unvech_double(
+      Vector(sol.p.begin() + static_cast<std::ptrdiff_t>(vars.p1_offset),
+             sol.p.begin() +
+                 static_cast<std::ptrdiff_t>(vars.p1_offset + vars.p1_count)),
+      dd);
+  c.mu1 = sol.p[vars.mu1];
+  c.eta1 = sol.p[vars.eta1];
+  c.synth_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return c;
+}
+
+PiecewiseValidation validate_piecewise(const model::PwaSystem& system,
+                                       const Vector& r,
+                                       const PiecewiseCandidate& candidate,
+                                       SurfaceEncoding encoding, int digits,
+                                       const Deadline& deadline) {
+  const Setup setup = make_setup(system, r);
+  const std::size_t d = setup.d;
+  const std::size_t dd = d + 1;
+
+  using exact::RatMatrix;
+  using exact::Rational;
+  auto rat = [digits](const Matrix& m) {
+    return smt::rationalize(m, digits).symmetrized();
+  };
+  const RatMatrix p0 = rat(candidate.p0_aug.block(0, 0, d, d));
+  const RatMatrix p1 = rat(candidate.p1_aug);
+  const RatMatrix a0 =
+      exact::rat_matrix_from_doubles(setup.a0.data().data(), d, d, 0);
+  const RatMatrix a1 = exact::rat_matrix_from_doubles(
+      setup.a1_aug.data().data(), dd, dd, 0);
+  std::vector<Rational> s_bar(dd);
+  for (std::size_t i = 0; i < dd; ++i)
+    s_bar[i] = Rational::from_double_exact(setup.s_bar[i]);
+  RatMatrix s0{dd, dd};
+  for (std::size_t i = 0; i < dd; ++i) {
+    s0(i, dd - 1) += s_bar[i];
+    s0(dd - 1, i) += s_bar[i];
+  }
+  const Rational mu1 = Rational::from_double_rounded(
+      std::max(candidate.mu1, 0.0), std::max(digits, 1));
+  const Rational eta1 = Rational::from_double_rounded(
+      std::max(candidate.eta1, 0.0), std::max(digits, 1));
+
+  smt::CheckOptions opts;
+  opts.deadline = deadline;
+  PiecewiseValidation out;
+  // Positivity and decrease, checked exactly through the charpoly engine
+  // (weak PSD conditions for the augmented blocks, strict for mode 0).
+  out.positivity0 =
+      smt::check_positive_definite(p0, smt::Engine::Sylvester, opts).outcome ==
+      smt::Outcome::Valid;
+  out.decrease0 = smt::check_positive_definite(
+                      -(a0.transposed() * p0 + p0 * a0).symmetrized(),
+                      smt::Engine::Sylvester, opts)
+                      .outcome == smt::Outcome::Valid;
+  {
+    RatMatrix pos1 = p1 + s0 * mu1;
+    out.positivity1 = smt::all_roots_nonnegative(
+        smt::characteristic_polynomial_faddeev(pos1, deadline));
+    RatMatrix dec1 =
+        -(a1.transposed() * p1 + p1 * a1).symmetrized() + s0 * eta1;
+    out.decrease1 = smt::all_roots_nonnegative(
+        smt::characteristic_polynomial_faddeev(dec1, deadline));
+  }
+  // Surface condition, checked EXACTLY (no slack): on the hyperplane
+  // {v : s_bar . (v,1) = 0} the difference V0 - V1 must vanish (Equality)
+  // or be sign-constrained in both crossing directions (Relaxed) — either
+  // way, U^T (P0ext - P1) U must be the zero matrix for an exact basis U
+  // of the orthogonal complement of s_bar.
+  {
+    RatMatrix p0_ext{dd, dd};
+    for (std::size_t i = 0; i < d; ++i)
+      for (std::size_t j = 0; j < d; ++j) p0_ext(i, j) = p0(i, j);
+    RatMatrix diff = p0_ext - p1;
+    // Exact basis of s_bar^perp: for a pivot coordinate pi with
+    // s_bar[pi] != 0, vectors e_i - (s_i/s_pi) e_pi for i != pi.
+    std::size_t pivot = dd;
+    for (std::size_t i = 0; i < dd; ++i)
+      if (!s_bar[i].is_zero()) {
+        pivot = i;
+        break;
+      }
+    if (pivot == dd)
+      throw std::invalid_argument("validate_piecewise: zero surface normal");
+    RatMatrix u{dd, dd - 1};
+    std::size_t col = 0;
+    for (std::size_t i = 0; i < dd; ++i) {
+      if (i == pivot) continue;
+      u(i, col) = Rational{1};
+      u(pivot, col) = -(s_bar[i] / s_bar[pivot]);
+      ++col;
+    }
+    RatMatrix restricted = u.transposed() * diff * u;
+    bool zero = true;
+    for (std::size_t i = 0; i < dd - 1 && zero; ++i)
+      for (std::size_t j = 0; j < dd - 1 && zero; ++j)
+        if (!restricted(i, j).is_zero()) zero = false;
+    if (encoding == SurfaceEncoding::Equality) {
+      out.surface = zero;
+    } else {
+      // Relaxed: both U^T diff U >= 0 and <= 0 must hold exactly.
+      out.surface =
+          zero ||
+          (smt::all_roots_nonnegative(
+               smt::characteristic_polynomial_faddeev(restricted, deadline)) &&
+           smt::all_roots_nonnegative(smt::characteristic_polynomial_faddeev(
+               -restricted, deadline)));
+    }
+  }
+  return out;
+}
+
+}  // namespace spiv::lyap

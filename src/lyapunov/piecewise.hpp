@@ -1,0 +1,75 @@
+// spiv::lyap — piecewise-quadratic Lyapunov synthesis for the switched
+// system (paper §III-F and §VI-B2, after Johansson–Rantzer / Oehlerking).
+//
+// For the 2-mode PWA system with a single switching surface s(w) = 0 we
+// search for augmented quadratic pieces V_i(w) = wbar^T Pbar_i wbar (wbar =
+// (w - x*, 1), x* the nominal equilibrium) such that, via the S-procedure,
+//   * V_i > 0 on region R_i,
+//   * Vdot_i < 0 on region R_i,
+//   * the switching-surface condition holds, in one of two encodings:
+//       Equality — V_0 = V_1 on the surface (continuity), imposed with a
+//                  small numerical slack delta (as any floating-point
+//                  solver effectively does);
+//       Relaxed  — V does not increase across the surface in either
+//                  crossing direction, again with slack delta.
+//
+// The paper's finding — reproduced here — is that the LMI solver always
+// returns a candidate, but *exact* validation of the surface condition
+// always fails: the synthesized pieces satisfy it only up to the numerical
+// slack, never exactly.
+#pragma once
+
+#include <optional>
+
+#include "lyapunov/synthesis.hpp"
+#include "model/switched_pi.hpp"
+
+namespace spiv::lyap {
+
+enum class SurfaceEncoding { Equality, Relaxed };
+
+struct PiecewiseCandidate {
+  numeric::Matrix p0_aug;  ///< (d+1) x (d+1), last row/col zero by
+                           ///< construction (mode 0 centered at x*)
+  numeric::Matrix p1_aug;  ///< (d+1) x (d+1) full augmented form
+  double mu0 = 0.0, mu1 = 0.0;    ///< positivity S-procedure multipliers
+  double eta0 = 0.0, eta1 = 0.0;  ///< decrease S-procedure multipliers
+  double synth_seconds = 0.0;
+};
+
+struct PiecewiseOptions {
+  sdp::Backend backend = sdp::Backend::NewtonAnalyticCenter;
+  double slack = 1e-6;   ///< numerical slack delta on the surface condition
+  double kappa = 10.0;   ///< normalization |entries of Pbar| scale
+  Deadline deadline{};
+};
+
+/// Synthesize a piecewise-quadratic candidate for a 2-mode system whose
+/// modes are separated by one switching surface.  Returns nullopt when the
+/// LMI solver fails to produce a candidate.
+[[nodiscard]] std::optional<PiecewiseCandidate> synthesize_piecewise(
+    const model::PwaSystem& system, const numeric::Vector& r,
+    SurfaceEncoding encoding, const PiecewiseOptions& options = {});
+
+/// Exact validation verdicts for a piecewise candidate (candidates are
+/// rounded to `digits` significant figures first, as in §VI-B1).
+struct PiecewiseValidation {
+  bool positivity0 = false;  ///< V_0 - mu_0 * region term  PSD
+  bool positivity1 = false;
+  bool decrease0 = false;    ///< -(A^T P + P A) - eta * region term  PSD
+  bool decrease1 = false;
+  /// The surface condition checked *exactly* (no slack): continuity
+  /// (Equality) or two-sided non-increase (Relaxed) of V across s(w) = 0.
+  bool surface = false;
+
+  [[nodiscard]] bool all_valid() const {
+    return positivity0 && positivity1 && decrease0 && decrease1 && surface;
+  }
+};
+
+[[nodiscard]] PiecewiseValidation validate_piecewise(
+    const model::PwaSystem& system, const numeric::Vector& r,
+    const PiecewiseCandidate& candidate, SurfaceEncoding encoding,
+    int digits = 10, const Deadline& deadline = {});
+
+}  // namespace spiv::lyap

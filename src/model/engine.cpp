@@ -1,0 +1,210 @@
+#include "model/engine.hpp"
+
+#include <stdexcept>
+
+namespace spiv::model {
+
+using numeric::Matrix;
+using numeric::Vector;
+
+namespace {
+
+// State indices of the synthetic engine (see header substitution note).
+enum State : std::size_t {
+  kN1 = 0,        // LPC spool speed
+  kN2 = 1,        // HPC spool speed
+  kPComb = 2,     // combustor pressure
+  kTComb = 3,     // combustor temperature
+  kPLpc = 4,      // LPC exit pressure
+  kPHpc = 5,      // HPC exit pressure
+  kTTurb = 6,     // turbine temperature
+  kPNoz = 7,      // nozzle pressure
+  kMach = 8,      // exit-Mach aerodynamic state
+  kActFuel = 9,   // fuel-valve actuator lag
+  kActNoz = 10,   // nozzle-area actuator lag
+  kActIgv = 11,   // IGV-angle actuator lag
+  kSensN1 = 12,   // y0 sensor lag
+  kSensPr = 13,   // y1 sensor lag
+  kSensMach = 14, // y2 sensor lag
+  kSensN2 = 15,   // y3 sensor lag
+  kThermal = 16,  // thermal soak state
+  kDuct = 17,     // duct/volume state
+};
+constexpr std::size_t kNumStates = 18;
+constexpr std::size_t kNumInputs = 3;
+constexpr std::size_t kNumOutputs = 4;
+
+/// Deterministic pseudo-random stream for the weak dense cross-couplings
+/// that make the matrices generic ("industrial messiness").  Plain LCG so
+/// the model is bit-reproducible across platforms.
+class CouplingNoise {
+ public:
+  double next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    // Top 53 bits -> [0, 1), then center to [-1, 1).
+    const double u =
+        static_cast<double>(state_ >> 11) / 9007199254740992.0;
+    return 2.0 * u - 1.0;
+  }
+
+ private:
+  std::uint64_t state_ = 0x5eed5eed5eed5eedull;
+};
+
+}  // namespace
+
+StateSpace make_engine_model() {
+  Matrix a{kNumStates, kNumStates};
+  Matrix b{kNumStates, kNumInputs};
+  Matrix c{kNumOutputs, kNumStates};
+
+  // All structural entries are integers, and the input/output map is
+  // *dynamically rank 3*: every channel routes through the three "core"
+  // states (the two spools and one exit-aerodynamic mode), while
+  // actuators, sensors and relay states are 15-30x faster and the
+  // remaining thermodynamic states are only weakly observable (through
+  // the coupling noise below).  This gives the strongly decaying Hankel
+  // spectrum that the paper's balanced-truncation benchmark family
+  // (sizes 3/5/10/15) presupposes, and it keeps the integer-rounded
+  // variants dynamically equivalent (rounding merely strips the noise).
+  //
+  // Core: N1 spool (-15), exit-aero mode (-25), N2 spool (-40), with weak
+  // physical cross-couplings.
+  a(kN1, kN1) = -15;
+  a(kN1, kN2) = 1;
+  a(kN1, kActFuel) = 2;
+  a(kN1, kActNoz) = -2;
+  a(kN1, kActIgv) = 1;
+  a(kMach, kMach) = -25;
+  a(kMach, kN1) = 1;
+  a(kMach, kActNoz) = 2;
+  a(kN2, kN2) = -40;
+  a(kN2, kN1) = 1;
+  a(kN2, kActFuel) = 9;
+  a(kN2, kActIgv) = 8;
+  // Fast pressure-ratio relay: PHpc tracks the static gauge combination
+  // 1.9*N1 + 3.17*Mach - 0.63*N2 with a -600 1/s lag.
+  a(kPHpc, kPHpc) = -600;
+  a(kPHpc, kN1) = 1140;
+  a(kPHpc, kMach) = 1900;
+  a(kPHpc, kN2) = -380;
+  // Actuator lags (first order, driven by B below).
+  a(kActFuel, kActFuel) = -400;
+  a(kActNoz, kActNoz) = -350;
+  a(kActIgv, kActIgv) = -450;
+  // Sensor lags (fast).
+  a(kSensN1, kSensN1) = -300;
+  a(kSensN1, kN1) = 300;
+  a(kSensPr, kSensPr) = -300;
+  a(kSensPr, kPHpc) = 300;
+  a(kSensMach, kSensMach) = -300;
+  a(kSensMach, kMach) = 300;
+  a(kSensN2, kSensN2) = -300;
+  a(kSensN2, kN2) = 300;
+  // Driven thermodynamic states: stable chains excited by the core and the
+  // actuators; they feed each other but reach the outputs only through the
+  // coupling noise, so they carry near-zero Hankel weight.
+  a(kPComb, kPComb) = -30;
+  a(kPComb, kActFuel) = 20;
+  a(kPComb, kN2) = 4;
+  a(kTComb, kTComb) = -20;
+  a(kTComb, kActFuel) = 15;
+  a(kTComb, kThermal) = -2;
+  a(kPLpc, kPLpc) = -35;
+  a(kPLpc, kN1) = 10;
+  a(kPLpc, kActIgv) = -4;
+  a(kTTurb, kTTurb) = -12;
+  a(kTTurb, kTComb) = 8;
+  a(kTTurb, kPComb) = 3;
+  a(kPNoz, kPNoz) = -45;
+  a(kPNoz, kPHpc) = 1;
+  a(kPNoz, kN1) = 5;
+  a(kPNoz, kActNoz) = -12;
+  a(kThermal, kThermal) = -5;
+  a(kThermal, kTComb) = 4;
+  a(kDuct, kDuct) = -50;
+  a(kDuct, kPNoz) = 10;
+  a(kDuct, kPLpc) = 5;
+
+  // Weak dense cross-couplings so the matrices are generic (every entry
+  // participates in the downstream numerics, as in the real model of [25]).
+  CouplingNoise noise;
+  for (std::size_t i = 0; i < kNumStates; ++i)
+    for (std::size_t j = 0; j < kNumStates; ++j) {
+      if (i == j) continue;
+      a(i, j) += 0.02 * noise.next();
+    }
+
+  // Inputs drive the actuator states only.
+  b(kActFuel, 0) = 400;
+  b(kActNoz, 1) = 350;
+  b(kActIgv, 2) = 450;
+
+  // Measured outputs come from the sensor-lag states with unit scale; the
+  // loop gains required by the paper's fixed PI matrices are realized
+  // inside A (fast integer diagonals), so the integer-rounded variants see
+  // the same loop dynamics.
+  c(0, kSensN1) = 1.0;
+  c(1, kSensPr) = 1.0;
+  c(2, kSensMach) = 1.0;
+  c(3, kSensN2) = 1.0;
+
+  StateSpace plant{std::move(a), std::move(b), std::move(c)};
+  plant.validate();
+  return plant;
+}
+
+PiGains engine_gains_mode0() {
+  // Paper §V-B, mode 0 (thrust / nominal operation).
+  Matrix ki{{10, 0, 0, 0}, {0, 0, 100, 0}, {0, 0, 0, 2}};
+  Matrix kp{{1, 0, 0, 0}, {0, 0, 10, 0}, {0, 0, 0, 0.5}};
+  return {std::move(kp), std::move(ki)};
+}
+
+PiGains engine_gains_mode1() {
+  // Paper §V-B, mode 1 (LPC spool-speed limiting).
+  Matrix ki{{0, 20, 0, 0}, {0, 0, 100, 0}, {0, 0, 0, 2}};
+  Matrix kp{{0, 0.1, 0, 0}, {0, 0, 10, 0}, {0, 0, 0, 0.5}};
+  return {std::move(kp), std::move(ki)};
+}
+
+SwitchedPiController make_engine_controller(double theta) {
+  SwitchedPiController ctrl;
+  ctrl.gains = {engine_gains_mode0(), engine_gains_mode1()};
+
+  // Paper §V-B: g0 = (1,0,0,0), h0 = Theta - r0, strict '>':
+  //   y0 + Theta - r0 > 0  <=>  r0 - y0 < Theta  (region R0).
+  OutputGuard r0_guard;
+  r0_guard.g = Vector{1, 0, 0, 0};
+  r0_guard.h = theta;
+  r0_guard.h_r = Vector{-1, 0, 0, 0};
+  r0_guard.strict = true;
+  // g1 = (-1,0,0,0), h1 = r0 - Theta, '>=':
+  //   -y0 + r0 - Theta >= 0  <=>  r0 - y0 >= Theta  (region R1).
+  OutputGuard r1_guard;
+  r1_guard.g = Vector{-1, 0, 0, 0};
+  r1_guard.h = -theta;
+  r1_guard.h_r = Vector{1, 0, 0, 0};
+  r1_guard.strict = false;
+
+  ctrl.regions = {{r0_guard}, {r1_guard}};
+  return ctrl;
+}
+
+Vector make_engine_references(const StateSpace& plant, double theta) {
+  // Base targets for (pressure ratio, exit Mach, HPC spool speed); the
+  // mode-1 equilibrium does not depend on r0 (the K_{.,1} matrices have a
+  // zero first column), so r0 can then be placed to put the mode-1
+  // equilibrium inside R1 with one extra Theta of margin.
+  Vector r{0.0, 1.0, 0.5, 1.0};
+  PwaMode mode1 = close_loop_single_mode(plant, engine_gains_mode1());
+  const Vector w_eq = mode1.equilibrium(r);
+  // y0 at the mode-1 equilibrium.
+  double y0 = 0.0;
+  for (std::size_t j = 0; j < plant.num_states(); ++j)
+    y0 += plant.c(0, j) * w_eq[j];
+  r[0] = y0 + 2.0 * theta;
+  return r;
+}
+
+}  // namespace spiv::model

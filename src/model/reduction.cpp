@@ -1,0 +1,113 @@
+#include "model/reduction.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/eigen.hpp"
+#include "numeric/lyapunov.hpp"
+
+namespace spiv::model {
+
+using numeric::Matrix;
+using numeric::Vector;
+
+ReducedModel balanced_truncation(const StateSpace& sys, std::size_t order) {
+  sys.validate();
+  const std::size_t n = sys.num_states();
+  if (order == 0 || order > n)
+    throw std::invalid_argument("balanced_truncation: bad target order");
+  if (!sys.is_stable())
+    throw std::runtime_error("balanced_truncation: system must be stable");
+
+  // Controllability Gramian: A Wc + Wc A^T + B B^T = 0.
+  auto wc = numeric::solve_lyapunov_dual(sys.a, sys.b * sys.b.transposed());
+  // Observability Gramian: A^T Wo + Wo A + C^T C = 0.
+  auto wo = numeric::solve_lyapunov(sys.a, sys.c.transposed() * sys.c);
+  if (!wc || !wo)
+    throw std::runtime_error("balanced_truncation: Gramian solve failed");
+
+  // Regularize against numerically-uncontrollable directions before the
+  // Cholesky factorization.
+  const double reg = 1e-12 * (1.0 + wc->max_abs());
+  Matrix wc_reg = *wc;
+  for (std::size_t i = 0; i < n; ++i) wc_reg(i, i) += reg;
+  auto lc = wc_reg.cholesky();
+  if (!lc)
+    throw std::runtime_error("balanced_truncation: Gramian not PD");
+
+  // Hankel singular values from Lc^T Wo Lc = V diag(s^2) V^T.
+  Matrix m = lc->transposed() * *wo * *lc;
+  auto eig = numeric::symmetric_eigen(m);  // ascending
+  Vector hsv(n);
+  Matrix v{n, n};
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t src = n - 1 - k;  // descending
+    hsv[k] = std::sqrt(std::max(0.0, eig.values[src]));
+    for (std::size_t i = 0; i < n; ++i) v(i, k) = eig.vectors(i, src);
+  }
+
+  // Balancing transformation T = Lc V diag(hsv^{-1/2}).
+  Matrix t = *lc * v;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double s = hsv[j] > 1e-300 ? 1.0 / std::sqrt(hsv[j]) : 0.0;
+    for (std::size_t i = 0; i < n; ++i) t(i, j) *= s;
+  }
+  auto t_inv = t.inverse();
+  if (!t_inv)
+    throw std::runtime_error("balanced_truncation: balancing transform singular");
+
+  const Matrix a_bal = *t_inv * sys.a * t;
+  const Matrix b_bal = *t_inv * sys.b;
+  const Matrix c_bal = sys.c * t;
+
+  ReducedModel out;
+  out.hankel_singular_values = std::move(hsv);
+  out.sys.a = a_bal.block(0, 0, order, order);
+  out.sys.b = b_bal.block(0, 0, order, sys.num_inputs());
+  out.sys.c = c_bal.block(0, 0, sys.num_outputs(), order);
+  out.sys.validate();
+  return out;
+}
+
+StateSpace round_to_integers(const StateSpace& sys) {
+  StateSpace out = sys;
+  auto round_matrix = [](Matrix& m) {
+    for (std::size_t i = 0; i < m.rows(); ++i)
+      for (std::size_t j = 0; j < m.cols(); ++j)
+        m(i, j) = std::nearbyint(m(i, j));
+  };
+  round_matrix(out.a);
+  round_matrix(out.b);
+  round_matrix(out.c);
+  return out;
+}
+
+std::vector<BenchmarkModel> make_benchmark_family() {
+  const StateSpace engine = make_engine_model();
+  const SwitchedPiController ctrl = make_engine_controller();
+
+  std::vector<BenchmarkModel> family;
+  auto add = [&family, &ctrl](std::string name, std::size_t size,
+                              bool integer_rounded, StateSpace plant) {
+    BenchmarkModel bm;
+    bm.name = std::move(name);
+    bm.size = size;
+    bm.integer_rounded = integer_rounded;
+    bm.references = make_engine_references(plant);
+    bm.plant = std::move(plant);
+    bm.controller = ctrl;
+    family.push_back(std::move(bm));
+  };
+
+  for (std::size_t size : {std::size_t{3}, std::size_t{5}, std::size_t{10}}) {
+    StateSpace reduced = balanced_truncation(engine, size).sys;
+    add("size" + std::to_string(size) + "i", size, true,
+        round_to_integers(reduced));
+    add("size" + std::to_string(size), size, false, std::move(reduced));
+  }
+  add("size15", 15, false, balanced_truncation(engine, 15).sys);
+  add("size18", 18, false, engine);
+  return family;
+}
+
+}  // namespace spiv::model

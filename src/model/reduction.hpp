@@ -1,0 +1,50 @@
+// spiv::model — Balanced Truncation Model Reduction (paper §VI-A).
+//
+// The paper evaluates scalability on reduced models of sizes 3, 5, 10, 15
+// obtained by balanced truncation of the 18-state engine, plus
+// integer-rounded variants of sizes 3, 5, 10 as numerically simpler inputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/engine.hpp"
+#include "model/state_space.hpp"
+#include "model/switched_pi.hpp"
+
+namespace spiv::model {
+
+/// Result of balanced truncation, including the Hankel singular values of
+/// the full system (useful to judge the truncation error a priori:
+/// ||G - G_r||_inf <= 2 * sum of discarded HSVs).
+struct ReducedModel {
+  StateSpace sys;
+  numeric::Vector hankel_singular_values;  ///< of the *full* system, descending
+};
+
+/// Reduce a stable system to `order` states by balanced truncation.
+/// Throws std::invalid_argument for order 0 or > n, std::runtime_error when
+/// the system is unstable or a Gramian solve fails.
+[[nodiscard]] ReducedModel balanced_truncation(const StateSpace& sys,
+                                               std::size_t order);
+
+/// Round every entry of (A, B, C) to the nearest integer (the paper's
+/// "truncated" benchmark variants for sizes 3/5/10).
+[[nodiscard]] StateSpace round_to_integers(const StateSpace& sys);
+
+/// One entry of the paper's benchmark family (§VI-A).
+struct BenchmarkModel {
+  std::string name;       ///< e.g. "size5i" (integer) / "size18"
+  std::size_t size;       ///< plant order
+  bool integer_rounded;   ///< true for the rounded variants
+  StateSpace plant;
+  SwitchedPiController controller;
+  numeric::Vector references;  ///< r with w_eq_i in R_i for both modes
+};
+
+/// The full family: sizes {3, 5, 10} in float and integer-rounded variants
+/// plus {15, 18} float-only — 8 plants, 2 closed-loop modes each, matching
+/// the paper's per-size case counts (4/4/4/2/2 in Table I).
+[[nodiscard]] std::vector<BenchmarkModel> make_benchmark_family();
+
+}  // namespace spiv::model

@@ -1,0 +1,176 @@
+#include "model/serialize.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace spiv::model {
+
+using numeric::Matrix;
+using numeric::Vector;
+
+namespace {
+
+void write_matrix(std::ostream& os, const Matrix& m) {
+  os << std::setprecision(17);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      os << m(i, j) << (j + 1 == m.cols() ? "" : " ");
+    os << "\n";
+  }
+}
+
+Matrix read_matrix(std::istream& is, std::size_t rows, std::size_t cols) {
+  Matrix m{rows, cols};
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      if (!(is >> m(i, j)))
+        throw std::runtime_error("serialize: truncated matrix data");
+  return m;
+}
+
+void expect_token(std::istream& is, const std::string& expected) {
+  std::string tok;
+  if (!(is >> tok) || tok != expected)
+    throw std::runtime_error("serialize: expected '" + expected + "', got '" +
+                             tok + "'");
+}
+
+Vector read_vector(std::istream& is, std::size_t n) {
+  Vector v(n);
+  for (auto& x : v)
+    if (!(is >> x)) throw std::runtime_error("serialize: truncated vector");
+  return v;
+}
+
+void write_vector(std::ostream& os, const Vector& v) {
+  os << std::setprecision(17);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    os << v[i] << (i + 1 == v.size() ? "" : " ");
+}
+
+}  // namespace
+
+void write_state_space(std::ostream& os, const StateSpace& sys) {
+  os << "plant " << sys.num_states() << " " << sys.num_inputs() << " "
+     << sys.num_outputs() << "\nA\n";
+  write_matrix(os, sys.a);
+  os << "B\n";
+  write_matrix(os, sys.b);
+  os << "C\n";
+  write_matrix(os, sys.c);
+}
+
+StateSpace read_state_space(std::istream& is) {
+  expect_token(is, "plant");
+  std::size_t n = 0, m = 0, p = 0;
+  if (!(is >> n >> m >> p))
+    throw std::runtime_error("serialize: bad plant header");
+  StateSpace sys;
+  expect_token(is, "A");
+  sys.a = read_matrix(is, n, n);
+  expect_token(is, "B");
+  sys.b = read_matrix(is, n, m);
+  expect_token(is, "C");
+  sys.c = read_matrix(is, p, n);
+  sys.validate();
+  return sys;
+}
+
+void write_case(std::ostream& os, const BenchmarkModel& bm) {
+  os << "spiv-case v1\n";
+  os << "name " << bm.name << " size " << bm.size << " integer "
+     << (bm.integer_rounded ? 1 : 0) << "\n";
+  write_state_space(os, bm.plant);
+  os << "controller " << bm.controller.num_modes() << "\n";
+  const std::size_t p = bm.plant.num_outputs();
+  for (std::size_t i = 0; i < bm.controller.num_modes(); ++i) {
+    os << "mode\nKP\n";
+    write_matrix(os, bm.controller.gains[i].kp);
+    os << "KI\n";
+    write_matrix(os, bm.controller.gains[i].ki);
+    os << "guards " << bm.controller.regions[i].size() << "\n";
+    for (const auto& g : bm.controller.regions[i]) {
+      os << "g ";
+      write_vector(os, g.g);
+      os << " h " << std::setprecision(17) << g.h << " h_r ";
+      if (g.h_r.empty())
+        write_vector(os, Vector(p, 0.0));
+      else
+        write_vector(os, g.h_r);
+      os << " strict " << (g.strict ? 1 : 0) << "\n";
+    }
+  }
+  os << "references ";
+  write_vector(os, bm.references);
+  os << "\n";
+}
+
+BenchmarkModel read_case(std::istream& is) {
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != "spiv-case" || version != "v1")
+    throw std::runtime_error("serialize: not a spiv-case v1 stream");
+  BenchmarkModel bm;
+  expect_token(is, "name");
+  if (!(is >> bm.name)) throw std::runtime_error("serialize: bad name");
+  expect_token(is, "size");
+  if (!(is >> bm.size)) throw std::runtime_error("serialize: bad size");
+  expect_token(is, "integer");
+  int integer_flag = 0;
+  if (!(is >> integer_flag))
+    throw std::runtime_error("serialize: bad integer flag");
+  bm.integer_rounded = integer_flag != 0;
+  bm.plant = read_state_space(is);
+  const std::size_t m = bm.plant.num_inputs();
+  const std::size_t p = bm.plant.num_outputs();
+
+  expect_token(is, "controller");
+  std::size_t modes = 0;
+  if (!(is >> modes)) throw std::runtime_error("serialize: bad mode count");
+  for (std::size_t i = 0; i < modes; ++i) {
+    expect_token(is, "mode");
+    PiGains gains;
+    expect_token(is, "KP");
+    gains.kp = read_matrix(is, m, p);
+    expect_token(is, "KI");
+    gains.ki = read_matrix(is, m, p);
+    bm.controller.gains.push_back(std::move(gains));
+    expect_token(is, "guards");
+    std::size_t guards = 0;
+    if (!(is >> guards)) throw std::runtime_error("serialize: bad guards");
+    std::vector<OutputGuard> region;
+    for (std::size_t g = 0; g < guards; ++g) {
+      OutputGuard guard;
+      expect_token(is, "g");
+      guard.g = read_vector(is, p);
+      expect_token(is, "h");
+      if (!(is >> guard.h)) throw std::runtime_error("serialize: bad h");
+      expect_token(is, "h_r");
+      guard.h_r = read_vector(is, p);
+      expect_token(is, "strict");
+      int strict = 0;
+      if (!(is >> strict)) throw std::runtime_error("serialize: bad strict");
+      guard.strict = strict != 0;
+      region.push_back(std::move(guard));
+    }
+    bm.controller.regions.push_back(std::move(region));
+  }
+  expect_token(is, "references");
+  bm.references = read_vector(is, p);
+  return bm;
+}
+
+std::string case_to_string(const BenchmarkModel& bm) {
+  std::ostringstream os;
+  write_case(os, bm);
+  return os.str();
+}
+
+BenchmarkModel case_from_string(const std::string& text) {
+  std::istringstream is{text};
+  return read_case(is);
+}
+
+}  // namespace spiv::model

@@ -1,0 +1,29 @@
+#include "model/state_space.hpp"
+
+#include <stdexcept>
+
+#include "numeric/eigen.hpp"
+
+namespace spiv::model {
+
+void StateSpace::validate() const {
+  if (!a.is_square())
+    throw std::invalid_argument("StateSpace: A must be square");
+  if (b.rows() != a.rows())
+    throw std::invalid_argument("StateSpace: B row count must match A");
+  if (c.cols() != a.cols())
+    throw std::invalid_argument("StateSpace: C column count must match A");
+}
+
+numeric::Matrix StateSpace::dc_gain() const {
+  auto inv = (-a).inverse();
+  if (!inv)
+    throw std::runtime_error("StateSpace: A is singular, DC gain undefined");
+  return c * *inv * b;
+}
+
+bool StateSpace::is_stable(double margin) const {
+  return numeric::is_hurwitz(a, margin);
+}
+
+}  // namespace spiv::model

@@ -1,0 +1,30 @@
+// spiv::model — continuous-time linear state-space models (paper §III-A).
+#pragma once
+
+#include <cstddef>
+
+#include "numeric/matrix.hpp"
+
+namespace spiv::model {
+
+/// Linear time-invariant system  xdot = A x + B u,  y = C x.
+struct StateSpace {
+  numeric::Matrix a;  ///< n x n
+  numeric::Matrix b;  ///< n x m
+  numeric::Matrix c;  ///< p x n
+
+  [[nodiscard]] std::size_t num_states() const { return a.rows(); }
+  [[nodiscard]] std::size_t num_inputs() const { return b.cols(); }
+  [[nodiscard]] std::size_t num_outputs() const { return c.rows(); }
+
+  /// Throws std::invalid_argument when the dimensions are inconsistent.
+  void validate() const;
+
+  /// DC gain C (-A)^-1 B (p x m); requires A nonsingular.
+  [[nodiscard]] numeric::Matrix dc_gain() const;
+
+  /// True when A is Hurwitz (all eigenvalues in the open left half-plane).
+  [[nodiscard]] bool is_stable(double margin = 0.0) const;
+};
+
+}  // namespace spiv::model

@@ -1,0 +1,126 @@
+#include "model/switched_pi.hpp"
+
+#include <stdexcept>
+
+namespace spiv::model {
+
+using numeric::Matrix;
+using numeric::Vector;
+
+bool HalfSpace::contains(const Vector& w) const {
+  const double v = evaluate(w);
+  return strict ? v > 0.0 : v >= 0.0;
+}
+
+double HalfSpace::evaluate(const Vector& w) const {
+  return numeric::dot(g, w) + h;
+}
+
+Vector PwaMode::drift(const Vector& r) const { return b.apply(r); }
+
+Vector PwaMode::equilibrium(const Vector& r) const {
+  Vector neg_drift = drift(r);
+  for (double& v : neg_drift) v = -v;
+  auto w = a.solve(neg_drift);
+  if (!w)
+    throw std::runtime_error("PwaMode: singular A, equilibrium undefined");
+  return *w;
+}
+
+bool PwaMode::contains(const Vector& w) const {
+  for (const auto& hs : region)
+    if (!hs.contains(w)) return false;
+  return true;
+}
+
+PwaSystem::PwaSystem(std::vector<PwaMode> modes, std::size_t plant_states,
+                     std::size_t plant_inputs, std::size_t plant_outputs)
+    : modes_(std::move(modes)),
+      plant_states_(plant_states),
+      plant_inputs_(plant_inputs),
+      plant_outputs_(plant_outputs) {
+  if (modes_.empty())
+    throw std::invalid_argument("PwaSystem: at least one mode required");
+  const std::size_t d = plant_states_ + plant_inputs_;
+  for (const auto& m : modes_) {
+    if (m.a.rows() != d || !m.a.is_square() || m.b.rows() != d)
+      throw std::invalid_argument("PwaSystem: mode dimension mismatch");
+    for (const auto& hs : m.region)
+      if (hs.g.size() != d)
+        throw std::invalid_argument("PwaSystem: guard dimension mismatch");
+  }
+}
+
+std::size_t PwaSystem::mode_of(const Vector& w) const {
+  for (std::size_t i = 0; i < modes_.size(); ++i)
+    if (modes_[i].contains(w)) return i;
+  throw std::runtime_error("PwaSystem: state not covered by any region");
+}
+
+PwaMode close_loop_single_mode(const StateSpace& plant, const PiGains& gains) {
+  plant.validate();
+  const std::size_t n = plant.num_states();
+  const std::size_t m = plant.num_inputs();
+  const std::size_t p = plant.num_outputs();
+  if (gains.kp.rows() != m || gains.kp.cols() != p || gains.ki.rows() != m ||
+      gains.ki.cols() != p)
+    throw std::invalid_argument("close_loop: gain shape must be m x p");
+
+  // Paper eq. (22):  N_i = -K_P C A - K_I C,  M_i = -K_P C B.
+  const Matrix kpc = gains.kp * plant.c;
+  const Matrix n_i = -(kpc * plant.a) - gains.ki * plant.c;
+  const Matrix m_i = -(kpc * plant.b);
+
+  PwaMode mode;
+  mode.a = Matrix{n + m, n + m};
+  mode.a.set_block(0, 0, plant.a);
+  mode.a.set_block(0, n, plant.b);
+  mode.a.set_block(n, 0, n_i);
+  mode.a.set_block(n, n, m_i);
+  mode.b = Matrix{n + m, p};
+  mode.b.set_block(n, 0, gains.ki);
+  return mode;
+}
+
+PwaSystem close_loop(const StateSpace& plant,
+                     const SwitchedPiController& controller,
+                     const Vector& r) {
+  plant.validate();
+  const std::size_t n = plant.num_states();
+  const std::size_t m = plant.num_inputs();
+  const std::size_t p = plant.num_outputs();
+  if (r.size() != p)
+    throw std::invalid_argument("close_loop: reference dimension mismatch");
+  if (controller.gains.size() != controller.regions.size())
+    throw std::invalid_argument("close_loop: modes/regions count mismatch");
+  if (controller.gains.empty())
+    throw std::invalid_argument("close_loop: controller has no modes");
+
+  std::vector<PwaMode> modes;
+  modes.reserve(controller.num_modes());
+  for (std::size_t i = 0; i < controller.num_modes(); ++i) {
+    PwaMode mode = close_loop_single_mode(plant, controller.gains[i]);
+    // Lift output guards g^T y + h |> 0 to state guards via y = C x
+    // (paper eqs. (14)-(16)); u-coordinates get zero coefficients.
+    for (const auto& og : controller.regions[i]) {
+      if (og.g.size() != p)
+        throw std::invalid_argument("close_loop: guard dimension mismatch");
+      HalfSpace hs;
+      hs.g = Vector(n + m, 0.0);
+      const Vector gc = plant.c.apply_transposed(og.g);  // C^T g
+      for (std::size_t k = 0; k < n; ++k) hs.g[k] = gc[k];
+      hs.h = og.h;
+      if (!og.h_r.empty()) {
+        if (og.h_r.size() != p)
+          throw std::invalid_argument("close_loop: guard h_r dimension mismatch");
+        hs.h += numeric::dot(og.h_r, r);
+      }
+      hs.strict = og.strict;
+      mode.region.push_back(std::move(hs));
+    }
+    modes.push_back(std::move(mode));
+  }
+  return PwaSystem{std::move(modes), n, m, p};
+}
+
+}  // namespace spiv::model

@@ -1,0 +1,109 @@
+// spiv::model — switched PI controllers and the closed-loop reformulation
+// into an autonomous piecewise-affine switched system (paper §IV).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/state_space.hpp"
+#include "numeric/matrix.hpp"
+
+namespace spiv::model {
+
+/// Proportional + integral gain pair for one operating mode:
+/// u = K_P e + K_I \int e dt, both m x p (paper eq. (12)).
+struct PiGains {
+  numeric::Matrix kp;
+  numeric::Matrix ki;
+};
+
+/// One affine guard inequality on the *outputs*:
+///   g^T y + h  (>|>=)  0                      (paper eq. (13)).
+/// `h` may depend affinely on the reference vector; the contribution
+/// `h_r^T r` is added to the constant at close-loop time.
+struct OutputGuard {
+  numeric::Vector g;    ///< p-dimensional
+  double h = 0.0;       ///< constant part
+  numeric::Vector h_r;  ///< optional reference-dependent part (p-dim; may be empty)
+  bool strict = false;  ///< true for '>', false for '>='
+};
+
+/// A switched PI controller: one gain pair and one guard conjunction per
+/// operating mode (paper §IV-A).
+struct SwitchedPiController {
+  std::vector<PiGains> gains;                     ///< per mode
+  std::vector<std::vector<OutputGuard>> regions;  ///< per mode, conjunction
+
+  [[nodiscard]] std::size_t num_modes() const { return gains.size(); }
+};
+
+/// One affine guard inequality on the *closed-loop state* w = (x, u):
+///   g^T w + h  (>|>=)  0                       (paper eq. (16)).
+struct HalfSpace {
+  numeric::Vector g;
+  double h = 0.0;
+  bool strict = false;
+
+  [[nodiscard]] bool contains(const numeric::Vector& w) const;
+  /// Signed value g^T w + h.
+  [[nodiscard]] double evaluate(const numeric::Vector& w) const;
+};
+
+/// One operating mode of the reformulated autonomous PWA system:
+///   wdot = A w + B r   restricted to  /\ region_k   (paper eq. (22)).
+struct PwaMode {
+  numeric::Matrix a;               ///< (n+m) x (n+m)
+  numeric::Matrix b;               ///< (n+m) x p, multiplies the reference r
+  std::vector<HalfSpace> region;   ///< polyhedral operating region
+
+  /// Affine drift b_r = B r for a fixed reference.
+  [[nodiscard]] numeric::Vector drift(const numeric::Vector& r) const;
+  /// Equilibrium -A^{-1} B r; throws when A is singular.
+  [[nodiscard]] numeric::Vector equilibrium(const numeric::Vector& r) const;
+  [[nodiscard]] bool contains(const numeric::Vector& w) const;
+};
+
+/// The autonomous PWA switched system S_pi obtained by closing the loop
+/// (paper §IV-B): state w = (x, u) in R^{n+m}, one affine flow per mode.
+class PwaSystem {
+ public:
+  PwaSystem(std::vector<PwaMode> modes, std::size_t plant_states,
+            std::size_t plant_inputs, std::size_t plant_outputs);
+
+  [[nodiscard]] std::size_t num_modes() const { return modes_.size(); }
+  [[nodiscard]] const PwaMode& mode(std::size_t i) const { return modes_[i]; }
+  [[nodiscard]] std::size_t dim() const { return plant_states_ + plant_inputs_; }
+  [[nodiscard]] std::size_t plant_states() const { return plant_states_; }
+  [[nodiscard]] std::size_t plant_inputs() const { return plant_inputs_; }
+  [[nodiscard]] std::size_t plant_outputs() const { return plant_outputs_; }
+
+  /// Index of the first mode whose region contains w; modes are checked in
+  /// order, so overlapping closures resolve deterministically.  Throws
+  /// std::runtime_error when no region matches (should not happen for a
+  /// well-formed partition).
+  [[nodiscard]] std::size_t mode_of(const numeric::Vector& w) const;
+
+ private:
+  std::vector<PwaMode> modes_;
+  std::size_t plant_states_;
+  std::size_t plant_inputs_;
+  std::size_t plant_outputs_;
+};
+
+/// Close the loop between plant S = (A, B, C) and the switched PI
+/// controller for a fixed reference vector r (paper §IV-B):
+///
+///   A_i = [ A                    B        ]    B_i = [ 0     ]
+///         [ -K_Pi C A - K_Ii C   -K_Pi C B ]          [ K_Ii ]
+///
+/// Guards on outputs are lifted to half-spaces on w via y = C x.
+[[nodiscard]] PwaSystem close_loop(const StateSpace& plant,
+                                   const SwitchedPiController& controller,
+                                   const numeric::Vector& r);
+
+/// Closed-loop matrices of a *single* mode (useful for per-mode analysis
+/// without constructing the full switched system).
+[[nodiscard]] PwaMode close_loop_single_mode(const StateSpace& plant,
+                                             const PiGains& gains);
+
+}  // namespace spiv::model

@@ -1,0 +1,115 @@
+#include "numeric/discrete.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/eigen.hpp"
+
+namespace spiv::numeric {
+
+Matrix expm(const Matrix& a) {
+  if (!a.is_square()) throw std::invalid_argument("expm: requires square");
+  const std::size_t n = a.rows();
+  // Scaling.
+  double norm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) row += std::abs(a(i, j));
+    norm = std::max(norm, row);
+  }
+  int s = 0;
+  if (norm > 0.5) s = std::max(0, static_cast<int>(std::ceil(std::log2(norm / 0.5))));
+  Matrix x = a * std::ldexp(1.0, -s);
+
+  // Padé(6,6): N = sum c_k X^k, D = sum (-1)^k c_k X^k.
+  const int p = 6;
+  double c = 1.0;
+  Matrix power = Matrix::identity(n);
+  Matrix num = Matrix::identity(n);
+  Matrix den = Matrix::identity(n);
+  for (int k = 1; k <= p; ++k) {
+    c *= static_cast<double>(p - k + 1) /
+         static_cast<double>((2 * p - k + 1) * k);
+    power = power * x;
+    num += c * power;
+    if (k % 2 == 0)
+      den += c * power;
+    else
+      den -= c * power;
+  }
+  auto e = den.solve(num);
+  if (!e) throw std::runtime_error("expm: Padé denominator singular");
+  Matrix result = *e;
+  for (int i = 0; i < s; ++i) result = result * result;
+  return result;
+}
+
+double spectral_radius(const Matrix& a) {
+  double best = 0.0;
+  for (const Complex& l : eigenvalues(a)) best = std::max(best, std::abs(l));
+  return best;
+}
+
+bool is_schur_stable(const Matrix& a, double margin) {
+  return spectral_radius(a) < 1.0 - margin;
+}
+
+std::pair<Matrix, Matrix> discretize_zoh(const Matrix& a, const Matrix& b,
+                                         double h) {
+  if (!a.is_square() || b.rows() != a.rows())
+    throw std::invalid_argument("discretize_zoh: shape mismatch");
+  const std::size_t n = a.rows();
+  const std::size_t m = b.cols();
+  Matrix block{n + m, n + m};
+  block.set_block(0, 0, a * h);
+  block.set_block(0, n, b * h);
+  Matrix e = expm(block);
+  return {e.block(0, 0, n, n), e.block(0, n, n, m)};
+}
+
+std::optional<Matrix> solve_discrete_lyapunov(const Matrix& a,
+                                              const Matrix& q) {
+  if (!a.is_square() || !q.is_square() || a.rows() != q.rows())
+    throw std::invalid_argument("solve_discrete_lyapunov: shape mismatch");
+  const std::size_t n = a.rows();
+  if (n == 0) return Matrix{};
+  ComplexSchur schur = complex_schur(a);
+  if (!schur.converged) return std::nullopt;
+  const CMatrix& t = schur.t;
+  const CMatrix& u = schur.u;
+  // With A = U T U^H and X = conj(U) Y U^H the equation A^T X A - X = -Q
+  // becomes T^T Y T - Y = C with C = -U^T Q U.
+  CMatrix ut{n, n};
+  CMatrix uc{n, n};
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      ut(i, j) = u(j, i);
+      uc(i, j) = std::conj(u(i, j));
+    }
+  CMatrix c = ut * CMatrix::from_real(-q) * u;
+  CMatrix y{n, n};
+  const double tol = 1e-12;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      // (T^T Y T)_{ij} = sum_{k<=i} sum_{l<=j} T_{ki} Y_{kl} T_{lj}.
+      Complex acc = c(i, j);
+      for (std::size_t k = 0; k <= i; ++k)
+        for (std::size_t l = 0; l <= j; ++l) {
+          if (k == i && l == j) continue;
+          acc -= t(k, i) * y(k, l) * t(l, j);
+        }
+      const Complex denom = t(i, i) * t(j, j) - Complex{1.0, 0.0};
+      if (std::abs(denom) < tol) return std::nullopt;
+      y(i, j) = acc / denom;
+    }
+  }
+  CMatrix x = uc * y * u.adjoint();
+  return x.real_part().symmetrized();
+}
+
+Matrix discrete_lyapunov_residual(const Matrix& a, const Matrix& p,
+                                  const Matrix& q) {
+  return a.transposed() * p * a - p + q;
+}
+
+}  // namespace spiv::numeric

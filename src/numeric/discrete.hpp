@@ -1,0 +1,47 @@
+// spiv::numeric — discrete-time support: matrix exponential, zero-order-
+// hold discretization, and the discrete (Stein) Lyapunov equation.
+//
+// The paper verifies the continuous-time design; its reference controller
+// [24] is a *digital* multimode implementation.  This module provides the
+// bridge: discretize the closed loop at a sample period and certify
+// discrete-time stability with the same exact validation machinery
+// (P > 0 and P - A^T P A > 0 are positive-definiteness checks).
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "numeric/matrix.hpp"
+
+namespace spiv::numeric {
+
+/// Matrix exponential via scaling-and-squaring with a Padé(6,6)
+/// approximant — ample accuracy for the well-scaled matrices here.
+[[nodiscard]] Matrix expm(const Matrix& a);
+
+/// Spectral radius (max |eigenvalue|).
+[[nodiscard]] double spectral_radius(const Matrix& a);
+
+/// True when all eigenvalues lie strictly inside the unit disk
+/// (discrete-time asymptotic stability, i.e. Schur stability).
+[[nodiscard]] bool is_schur_stable(const Matrix& a, double margin = 0.0);
+
+/// Zero-order-hold discretization of xdot = A x + B u at sample period h:
+///   x[k+1] = Ad x[k] + Bd u[k],  with [Ad Bd; 0 I] = expm([A B; 0 0] h).
+/// Returns {Ad, Bd}.
+[[nodiscard]] std::pair<Matrix, Matrix> discretize_zoh(const Matrix& a,
+                                                       const Matrix& b,
+                                                       double h);
+
+/// Solve the discrete Lyapunov (Stein) equation A^T P A - P + Q = 0 for
+/// symmetric P via the complex Schur form.  Returns nullopt when the
+/// spectrum makes the equation singular (lambda_i * lambda_j ~ 1).
+[[nodiscard]] std::optional<Matrix> solve_discrete_lyapunov(const Matrix& a,
+                                                            const Matrix& q);
+
+/// Residual A^T P A - P + Q.
+[[nodiscard]] Matrix discrete_lyapunov_residual(const Matrix& a,
+                                                const Matrix& p,
+                                                const Matrix& q);
+
+}  // namespace spiv::numeric

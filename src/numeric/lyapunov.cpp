@@ -1,0 +1,54 @@
+#include "numeric/lyapunov.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/eigen.hpp"
+
+namespace spiv::numeric {
+
+std::optional<Matrix> solve_lyapunov(const Matrix& a, const Matrix& q) {
+  if (!a.is_square() || !q.is_square() || a.rows() != q.rows())
+    throw std::invalid_argument("solve_lyapunov: shape mismatch");
+  const std::size_t n = a.rows();
+  if (n == 0) return Matrix{};
+  ComplexSchur schur = complex_schur(a);
+  if (!schur.converged) return std::nullopt;
+  const CMatrix& t = schur.t;
+  const CMatrix& u = schur.u;
+  // With A = U T U^H and X = conj(U) Y U^H the equation A^T X + X A = -Q
+  // becomes T^T Y + Y T = C with C = -U^T Q conj(U).
+  CMatrix ut{n, n};   // U^T
+  CMatrix uc{n, n};   // conj(U)
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      ut(i, j) = u(j, i);
+      uc(i, j) = std::conj(u(i, j));
+    }
+  CMatrix c = ut * CMatrix::from_real(-q) * u;
+  // Forward substitution: T^T lower triangular, T upper triangular.
+  CMatrix y{n, n};
+  const double tol = 1e-12 * (1.0 + t.frobenius_norm());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      Complex acc = c(i, j);
+      for (std::size_t k = 0; k < i; ++k) acc -= t(k, i) * y(k, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= y(i, k) * t(k, j);
+      const Complex denom = t(i, i) + t(j, j);
+      if (std::abs(denom) < tol) return std::nullopt;
+      y(i, j) = acc / denom;
+    }
+  }
+  CMatrix x = uc * y * u.adjoint();
+  return x.real_part().symmetrized();
+}
+
+std::optional<Matrix> solve_lyapunov_dual(const Matrix& a, const Matrix& q) {
+  return solve_lyapunov(a.transposed(), q);
+}
+
+Matrix lyapunov_residual(const Matrix& a, const Matrix& p, const Matrix& q) {
+  return a.transposed() * p + p * a + q;
+}
+
+}  // namespace spiv::numeric

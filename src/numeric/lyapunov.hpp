@@ -1,0 +1,30 @@
+// spiv::numeric — numerical solution of the continuous-time Lyapunov
+// equation (Bartels–Stewart via complex Schur form).
+//
+// This is the paper's `eq-num` synthesis method (python-control's `lyap`):
+// fast, floating-point, and therefore only a *candidate* generator — its
+// output still has to be validated symbolically.
+#pragma once
+
+#include <optional>
+
+#include "numeric/matrix.hpp"
+
+namespace spiv::numeric {
+
+/// Solve A^T P + P A + Q = 0 for symmetric P (Q symmetric).
+/// Returns nullopt when the spectrum of A makes the equation singular
+/// (lambda_i + lambda_j ~ 0) or the Schur iteration fails.
+[[nodiscard]] std::optional<Matrix> solve_lyapunov(const Matrix& a,
+                                                   const Matrix& q);
+
+/// Solve the dual equation A W + W A^T + Q = 0 (controllability-Gramian
+/// form), implemented as solve_lyapunov(A^T, Q).
+[[nodiscard]] std::optional<Matrix> solve_lyapunov_dual(const Matrix& a,
+                                                        const Matrix& q);
+
+/// Residual A^T P + P A + Q.
+[[nodiscard]] Matrix lyapunov_residual(const Matrix& a, const Matrix& p,
+                                       const Matrix& q);
+
+}  // namespace spiv::numeric

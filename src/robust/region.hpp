@@ -1,0 +1,73 @@
+// spiv::robust — robustness to perturbation (paper §VI-C, Table II).
+//
+// Given a validated quadratic Lyapunov function V_i(w) =
+// (w - w_eq)^T P (w - w_eq) for one operating mode, we synthesize the
+// largest sublevel set {V_i <= k_i} whose intersection with the switching
+// surface only contains points where the flow points back into the mode's
+// region (condition (24)): trajectories starting in
+// W_i = {V_i <= k_i} ∩ R_i converge to w_eq without ever switching mode.
+//
+// k_i has a closed form (equality-constrained quadratic minimization); the
+// certificate that k_i satisfies condition (24) — and that it is optimal
+// up to a 1e-3 factor, as the paper proves with Mathematica — is checked
+// in exact rational arithmetic.
+#pragma once
+
+#include <optional>
+
+#include "exact/timeout.hpp"
+#include "model/switched_pi.hpp"
+#include "numeric/matrix.hpp"
+
+namespace spiv::robust {
+
+struct RegionOptions {
+  /// Optimality gap for the exact certificates (paper: 1e-3).
+  double tolerance = 1e-3;
+  /// Significant decimal digits for rationalizing the candidate P.
+  int digits = 10;
+  /// Monte-Carlo samples for the truncated-ellipsoid volume.
+  int volume_samples = 4096;
+  Deadline deadline{};
+};
+
+struct RobustRegion {
+  double k = 0.0;          ///< certified sublevel value
+  double k_supremum = 0.0; ///< the exact bound k* the search converged to
+  bool flow_constant_on_surface = false;  ///< paper's special case: W = R_i
+  double volume = 0.0;     ///< volume of the truncated ellipsoid W_i
+  bool certified = false;  ///< exact proof of condition (24) at k
+  bool optimal = false;    ///< exact witness that k*(1+tol) violates (24)
+  double seconds = 0.0;    ///< synthesis + certification time
+};
+
+/// Synthesize and certify the robust region of `mode` for candidate P.
+/// Requirements: the mode has a single guard (one switching surface) and P
+/// is symmetric positive definite.
+[[nodiscard]] RobustRegion synthesize_region(const model::PwaSystem& system,
+                                             std::size_t mode,
+                                             const numeric::Matrix& p,
+                                             const numeric::Vector& r,
+                                             const RegionOptions& options = {});
+
+/// Radius eps_i of the reference-perturbation ball (paper §VI-C2): for any
+/// r' with ||r' - r|| < eps_i, the old equilibrium w_eq(r) lies inside the
+/// robust region W_i(r'), so the mode re-stabilizes without switching.
+[[nodiscard]] double reference_robustness_epsilon(
+    const model::PwaSystem& system, std::size_t mode, const numeric::Matrix& p,
+    const numeric::Vector& r, const RobustRegion& region);
+
+/// Volume of the full ellipsoid {(w-c)^T P (w-c) <= k} in R^d.
+[[nodiscard]] double ellipsoid_volume(const numeric::Matrix& p, double k);
+
+/// Largest ball radius alpha around w_eq certified inside W_i: perturbing
+/// the *state* by less than alpha keeps the trajectory converging to w_eq
+/// without a mode switch (the paper's "robustness of the stable states to
+/// perturbation [of the state]").  Infinity in the flow-constant case.
+[[nodiscard]] double state_robustness_radius(const model::PwaSystem& system,
+                                             std::size_t mode,
+                                             const numeric::Matrix& p,
+                                             const numeric::Vector& r,
+                                             const RobustRegion& region);
+
+}  // namespace spiv::robust

@@ -1,0 +1,227 @@
+#include "sdp/lmi.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+
+namespace spiv::sdp {
+
+using numeric::Matrix;
+using numeric::Vector;
+
+MatrixPencil::MatrixPencil(Matrix f0, std::vector<Matrix> coeffs)
+    : f0_(std::move(f0)), coeffs_(std::move(coeffs)) {
+  if (!f0_.is_square())
+    throw std::invalid_argument("MatrixPencil: F0 must be square");
+  for (const auto& c : coeffs_)
+    if (c.rows() != f0_.rows() || c.cols() != f0_.cols())
+      throw std::invalid_argument("MatrixPencil: coefficient shape mismatch");
+}
+
+Matrix MatrixPencil::evaluate(const Vector& p) const {
+  if (p.size() != coeffs_.size())
+    throw std::invalid_argument("MatrixPencil: wrong number of variables");
+  Matrix out = f0_;
+  for (std::size_t k = 0; k < coeffs_.size(); ++k) {
+    if (p[k] == 0.0) continue;
+    for (std::size_t i = 0; i < out.rows(); ++i)
+      for (std::size_t j = 0; j < out.cols(); ++j)
+        out(i, j) += p[k] * coeffs_[k](i, j);
+  }
+  return out;
+}
+
+void LmiProblem::validate() const {
+  if (constraints.empty())
+    throw std::invalid_argument("LmiProblem: no constraints");
+  for (const auto& c : constraints)
+    if (c.num_vars() != num_vars)
+      throw std::invalid_argument("LmiProblem: variable count mismatch");
+}
+
+double LmiProblem::min_eigenvalue(const Vector& p) const {
+  double worst = std::numeric_limits<double>::infinity();
+  for (const auto& c : constraints) {
+    auto eig = numeric::symmetric_eigen(c.evaluate(p));
+    worst = std::min(worst, eig.values.front());
+  }
+  return worst;
+}
+
+std::string to_string(Backend b) {
+  switch (b) {
+    case Backend::NewtonAnalyticCenter: return "newton-ac";
+    case Backend::FastInteriorPoint: return "fast-ipm";
+    case Backend::ShortStepBarrier: return "short-ipm";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Strict positive-definiteness probe via Cholesky (cheap and robust).
+bool is_pd(const Matrix& m) { return m.cholesky().has_value(); }
+
+double trace_of_product(const Matrix& a, const Matrix& b) {
+  double acc = 0.0;
+  const std::size_t n = a.rows();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) acc += a(i, j) * b(j, i);
+  return acc;
+}
+
+}  // namespace
+
+LmiSolution solve_lmi_barrier(const LmiProblem& problem,
+                              const LmiOptions& options, BarrierMode mode) {
+  const bool aggressive = mode == BarrierMode::Aggressive;
+  const bool short_step = mode == BarrierMode::ShortStep;
+  problem.validate();
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t big_k = problem.num_vars;  // p variables
+  const std::size_t nx = big_k + 1;            // plus the slack t
+
+  // Phase-I: maximize t subject to F_j(p) - t I > 0, starting from p = 0
+  // and t strictly below the current minimum eigenvalue.
+  Vector p(big_k, 0.0);
+  double t = problem.min_eigenvalue(p) - 1.0;
+
+  // Shifted blocks G_j(p, t) = F_j(p) - t I.
+  auto eval_block = [&problem](std::size_t j, const Vector& pp, double tt) {
+    Matrix g = problem.constraints[j].evaluate(pp);
+    for (std::size_t i = 0; i < g.rows(); ++i) g(i, i) -= tt;
+    return g;
+  };
+  auto all_pd = [&](const Vector& pp, double tt) {
+    for (std::size_t j = 0; j < problem.constraints.size(); ++j)
+      if (!is_pd(eval_block(j, pp, tt))) return false;
+    return true;
+  };
+  auto barrier_value = [&](const Vector& pp, double tt) {
+    double phi = 0.0;
+    for (std::size_t j = 0; j < problem.constraints.size(); ++j) {
+      auto chol = eval_block(j, pp, tt).cholesky();
+      if (!chol) return std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < chol->rows(); ++i)
+        phi -= 2.0 * std::log((*chol)(i, i));
+    }
+    return phi;
+  };
+
+  LmiSolution sol;
+  // Barrier weight on t; aggressive mode ramps it much faster and accepts
+  // the first point past the margin without re-centering, while the
+  // short-step mode crawls along the central path (slow but certain).
+  double mu = aggressive ? 16.0 : (short_step ? 1.0 : 4.0);
+  const double mu_growth = aggressive ? 20.0 : (short_step ? 1.4 : 6.0);
+  const double stop_margin =
+      aggressive ? options.target_margin : options.target_margin * 10.0;
+  const int max_outer = aggressive ? 6 : (short_step ? 60 : 10);
+  // Short-step mode caps the damped-Newton step fraction.
+  const double max_step = short_step ? 0.18 : 1.0;
+
+  int iters = 0;
+  for (int outer = 0; outer < max_outer; ++outer) {
+    for (int inner = 0; inner < options.max_iterations; ++inner) {
+      options.deadline.check();
+      ++iters;
+      // Gradient and Hessian of phi_mu = -mu t + barrier over x = (p, t).
+      Vector grad(nx, 0.0);
+      grad[big_k] = -mu;
+      Matrix hess{nx, nx};
+      for (std::size_t j = 0; j < problem.constraints.size(); ++j) {
+        const MatrixPencil& c = problem.constraints[j];
+        Matrix g = eval_block(j, p, t);
+        auto ginv_opt = g.inverse();
+        if (!ginv_opt) return sol;  // numerically on the boundary
+        const Matrix& ginv = *ginv_opt;
+        // W_k = G^{-1} D_k with D_k = F_jk for p-vars and -I for t.
+        std::vector<Matrix> w;
+        w.reserve(nx);
+        for (std::size_t k = 0; k < big_k; ++k) w.push_back(ginv * c.coeff(k));
+        w.push_back(-ginv);
+        for (std::size_t a = 0; a < nx; ++a) {
+          // d/dx_a of -log det G = -tr(G^{-1} D_a) = -tr(W_a).
+          double tr = 0.0;
+          for (std::size_t i = 0; i < g.rows(); ++i) tr += w[a](i, i);
+          grad[a] -= tr;
+          for (std::size_t b = a; b < nx; ++b) {
+            const double hab = trace_of_product(w[a], w[b]);
+            hess(a, b) += hab;
+            if (b != a) hess(b, a) += hab;
+          }
+        }
+      }
+      // Damped Newton step.
+      for (std::size_t i = 0; i < nx; ++i) hess(i, i) += 1e-12;
+      Vector neg_grad(nx);
+      for (std::size_t i = 0; i < nx; ++i) neg_grad[i] = -grad[i];
+      auto step_opt = hess.solve(neg_grad);
+      if (!step_opt) return sol;
+      const Vector& step = *step_opt;
+
+      // Backtracking line search maintaining strict feasibility of the
+      // shifted blocks and decreasing phi_mu.
+      const double phi0 = barrier_value(p, t) - mu * t;
+      double s = max_step;
+      Vector p_new = p;
+      double t_new = t;
+      bool accepted = false;
+      for (int ls = 0; ls < 40; ++ls) {
+        for (std::size_t k = 0; k < big_k; ++k) p_new[k] = p[k] + s * step[k];
+        t_new = t + s * step[big_k];
+        if (all_pd(p_new, t_new)) {
+          const double phi1 = barrier_value(p_new, t_new) - mu * t_new;
+          if (phi1 < phi0 - 1e-12 * std::abs(phi0) ||
+              s < (aggressive ? 1e-2 : 1e-4)) {
+            accepted = true;
+            break;
+          }
+        }
+        s *= 0.5;
+      }
+      if (!accepted) break;  // stalled at this mu
+      const double decrement = s * numeric::dot(step, grad);
+      p = p_new;
+      t = t_new;
+      if (t >= stop_margin) {
+        sol.feasible = true;
+        sol.p = p;
+        sol.achieved_margin = problem.min_eigenvalue(p);
+        sol.iterations = iters;
+        sol.seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+        return sol;
+      }
+      if (std::abs(decrement) < 1e-10 * (1.0 + std::abs(t))) break;
+    }
+    mu *= mu_growth;
+  }
+
+  // Out of budget: report whatever margin we reached.
+  sol.p = p;
+  sol.achieved_margin = problem.min_eigenvalue(p);
+  sol.feasible = sol.achieved_margin > 0.0;
+  sol.iterations = iters;
+  sol.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return sol;
+}
+
+LmiSolution solve_lmi(const LmiProblem& problem, Backend backend,
+                      const LmiOptions& options) {
+  switch (backend) {
+    case Backend::NewtonAnalyticCenter:
+      return solve_lmi_barrier(problem, options, BarrierMode::Robust);
+    case Backend::FastInteriorPoint:
+      return solve_lmi_barrier(problem, options, BarrierMode::Aggressive);
+    case Backend::ShortStepBarrier:
+      return solve_lmi_barrier(problem, options, BarrierMode::ShortStep);
+  }
+  throw std::invalid_argument("solve_lmi: unknown backend");
+}
+
+}  // namespace spiv::sdp

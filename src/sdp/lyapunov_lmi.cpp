@@ -1,0 +1,95 @@
+#include "sdp/lyapunov_lmi.hpp"
+
+#include <stdexcept>
+
+namespace spiv::sdp {
+
+using numeric::Matrix;
+using numeric::Vector;
+
+namespace {
+
+/// Maps the flat vech index k back to (i, j) with i >= j for an n x n
+/// symmetric matrix (column-stacked lower triangle).
+std::pair<std::size_t, std::size_t> vech_position(std::size_t k,
+                                                  std::size_t n) {
+  std::size_t j = 0;
+  std::size_t offset = 0;
+  while (k >= offset + (n - j)) {
+    offset += n - j;
+    ++j;
+    if (j >= n) throw std::out_of_range("vech_position: index out of range");
+  }
+  return {j + (k - offset), j};
+}
+
+}  // namespace
+
+Matrix vech_basis_matrix(std::size_t k, std::size_t n) {
+  auto [i, j] = vech_position(k, n);
+  Matrix e{n, n};
+  e(i, j) = 1.0;
+  e(j, i) = 1.0;  // overwrites harmlessly when i == j
+  return e;
+}
+
+Matrix unvech_double(const Vector& p, std::size_t n) {
+  if (p.size() != n * (n + 1) / 2)
+    throw std::invalid_argument("unvech_double: size mismatch");
+  Matrix out{n, n};
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    auto [i, j] = vech_position(k, n);
+    out(i, j) = p[k];
+    out(j, i) = p[k];
+  }
+  return out;
+}
+
+LmiProblem make_lyapunov_lmi(const Matrix& a, const LyapunovLmiConfig& config) {
+  if (!a.is_square())
+    throw std::invalid_argument("make_lyapunov_lmi: A must be square");
+  if (config.kappa <= config.nu)
+    throw std::invalid_argument("make_lyapunov_lmi: need kappa > nu");
+  const std::size_t n = a.rows();
+  const std::size_t big_k = n * (n + 1) / 2;
+  const Matrix at = a.transposed();
+
+  std::vector<Matrix> basis;
+  basis.reserve(big_k);
+  for (std::size_t k = 0; k < big_k; ++k)
+    basis.push_back(vech_basis_matrix(k, n));
+
+  LmiProblem problem;
+  problem.num_vars = big_k;
+
+  // P - nu*I > 0  (plain P > 0 when nu == 0).
+  {
+    Matrix f0{n, n};
+    for (std::size_t i = 0; i < n; ++i) f0(i, i) = -config.nu;
+    problem.constraints.emplace_back(std::move(f0), basis);
+  }
+  // kappa*I - P > 0.
+  {
+    Matrix f0{n, n};
+    for (std::size_t i = 0; i < n; ++i) f0(i, i) = config.kappa;
+    std::vector<Matrix> neg;
+    neg.reserve(big_k);
+    for (const auto& e : basis) neg.push_back(-e);
+    problem.constraints.emplace_back(std::move(f0), std::move(neg));
+  }
+  // -(A^T P + P A) - alpha P > 0.
+  {
+    Matrix f0{n, n};
+    std::vector<Matrix> coeffs;
+    coeffs.reserve(big_k);
+    for (const auto& e : basis) {
+      Matrix c = -(at * e) - e * a;
+      if (config.alpha != 0.0) c -= config.alpha * e;
+      coeffs.push_back(std::move(c));
+    }
+    problem.constraints.emplace_back(std::move(f0), std::move(coeffs));
+  }
+  return problem;
+}
+
+}  // namespace spiv::sdp

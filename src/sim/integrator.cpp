@@ -1,0 +1,174 @@
+#include "sim/integrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+namespace spiv::sim {
+
+using numeric::Vector;
+
+namespace {
+
+/// Cash–Karp embedded Runge–Kutta 4(5) tableau.
+constexpr double kA21 = 1.0 / 5.0;
+constexpr double kA31 = 3.0 / 40.0, kA32 = 9.0 / 40.0;
+constexpr double kA41 = 3.0 / 10.0, kA42 = -9.0 / 10.0, kA43 = 6.0 / 5.0;
+constexpr double kA51 = -11.0 / 54.0, kA52 = 5.0 / 2.0, kA53 = -70.0 / 27.0,
+                 kA54 = 35.0 / 27.0;
+constexpr double kA61 = 1631.0 / 55296.0, kA62 = 175.0 / 512.0,
+                 kA63 = 575.0 / 13824.0, kA64 = 44275.0 / 110592.0,
+                 kA65 = 253.0 / 4096.0;
+constexpr double kB1 = 37.0 / 378.0, kB3 = 250.0 / 621.0, kB4 = 125.0 / 594.0,
+                 kB6 = 512.0 / 1771.0;
+constexpr double kE1 = kB1 - 2825.0 / 27648.0, kE3 = kB3 - 18575.0 / 48384.0,
+                 kE4 = kB4 - 13525.0 / 55296.0, kE5 = -277.0 / 14336.0,
+                 kE6 = kB6 - 0.25;
+
+struct StepResult {
+  Vector w_new;
+  double error = 0.0;  ///< scaled truncation error estimate
+};
+
+StepResult rk45_step(const model::PwaMode& mode, const Vector& drift,
+                     const Vector& w, double dt, double rel_tol,
+                     double abs_tol) {
+  const std::size_t n = w.size();
+  auto f = [&mode, &drift](const Vector& x) {
+    Vector dx = mode.a.apply(x);
+    for (std::size_t i = 0; i < dx.size(); ++i) dx[i] += drift[i];
+    return dx;
+  };
+  Vector k1 = f(w);
+  Vector tmp(n);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = w[i] + dt * kA21 * k1[i];
+  Vector k2 = f(tmp);
+  for (std::size_t i = 0; i < n; ++i)
+    tmp[i] = w[i] + dt * (kA31 * k1[i] + kA32 * k2[i]);
+  Vector k3 = f(tmp);
+  for (std::size_t i = 0; i < n; ++i)
+    tmp[i] = w[i] + dt * (kA41 * k1[i] + kA42 * k2[i] + kA43 * k3[i]);
+  Vector k4 = f(tmp);
+  for (std::size_t i = 0; i < n; ++i)
+    tmp[i] = w[i] + dt * (kA51 * k1[i] + kA52 * k2[i] + kA53 * k3[i] +
+                          kA54 * k4[i]);
+  Vector k5 = f(tmp);
+  for (std::size_t i = 0; i < n; ++i)
+    tmp[i] = w[i] + dt * (kA61 * k1[i] + kA62 * k2[i] + kA63 * k3[i] +
+                          kA64 * k4[i] + kA65 * k5[i]);
+  Vector k6 = f(tmp);
+
+  StepResult out;
+  out.w_new.resize(n);
+  double err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.w_new[i] =
+        w[i] + dt * (kB1 * k1[i] + kB3 * k3[i] + kB4 * k4[i] + kB6 * k6[i]);
+    const double e = dt * (kE1 * k1[i] + kE3 * k3[i] + kE4 * k4[i] +
+                           kE5 * k5[i] + kE6 * k6[i]);
+    const double scale =
+        abs_tol + rel_tol * std::max(std::abs(w[i]), std::abs(out.w_new[i]));
+    err = std::max(err, std::abs(e) / scale);
+  }
+  out.error = err;
+  return out;
+}
+
+}  // namespace
+
+Trajectory simulate(const model::PwaSystem& system, const Vector& r,
+                    Vector w0, const SimOptions& options) {
+  if (w0.size() != system.dim())
+    throw std::invalid_argument("simulate: initial state dimension mismatch");
+  Trajectory traj;
+  double t = 0.0;
+  double dt = options.dt_initial;
+  std::size_t mode = system.mode_of(w0);
+  Vector w = std::move(w0);
+  // Cache drifts (and, when convergence tracking is on, equilibria) per
+  // mode; modes with singular dynamics simply opt out of the convergence
+  // check.
+  std::vector<Vector> drifts;
+  std::vector<std::optional<Vector>> equilibria(system.num_modes());
+  for (std::size_t i = 0; i < system.num_modes(); ++i) {
+    drifts.push_back(system.mode(i).drift(r));
+    if (options.convergence_radius > 0.0) {
+      try {
+        equilibria[i] = system.mode(i).equilibrium(r);
+      } catch (const std::runtime_error&) {
+        // singular mode matrix: no equilibrium to converge to
+      }
+    }
+  }
+  traj.points.push_back({t, w, mode});
+  double last_record = 0.0;
+
+  for (std::size_t step = 0; step < options.max_steps && t < options.t_end;
+       ++step) {
+    dt = std::min({dt, options.dt_max, options.t_end - t});
+    StepResult res = rk45_step(system.mode(mode), drifts[mode], w, dt,
+                               options.rel_tol, options.abs_tol);
+    if (res.error > 1.0) {
+      dt *= std::max(0.1, 0.9 * std::pow(res.error, -0.25));
+      if (dt < options.dt_min) {
+        traj.step_failed = true;
+        break;
+      }
+      continue;  // retry with smaller step
+    }
+    const std::size_t new_mode = system.mode_of(res.w_new);
+    if (new_mode != mode) {
+      // Localize the crossing by bisection on the step size, then accept
+      // the sub-step and switch the flow (state is continuous).
+      double lo = 0.0, hi = dt;
+      Vector w_cross = res.w_new;
+      for (int iter = 0; iter < 40 && hi - lo > options.dt_min; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        StepResult sub = rk45_step(system.mode(mode), drifts[mode], w, mid,
+                                   options.rel_tol, options.abs_tol);
+        if (system.mode_of(sub.w_new) == mode) {
+          lo = mid;
+        } else {
+          hi = mid;
+          w_cross = sub.w_new;
+        }
+      }
+      t += hi;
+      w = std::move(w_cross);
+      traj.switches.push_back({t, mode, system.mode_of(w)});
+      mode = system.mode_of(w);
+      traj.points.push_back({t, w, mode});
+      last_record = t;
+      dt = options.dt_initial;
+      continue;
+    }
+    // Accept.
+    t += dt;
+    w = std::move(res.w_new);
+    if (t - last_record >= options.record_interval || t >= options.t_end) {
+      traj.points.push_back({t, w, mode});
+      last_record = t;
+    }
+    // Step-size growth.
+    if (res.error > 0.0)
+      dt *= std::min(4.0, 0.9 * std::pow(res.error, -0.2));
+    else
+      dt *= 4.0;
+    if (options.convergence_radius > 0.0 && equilibria[mode]) {
+      double dist2 = 0.0;
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        const double d = w[i] - (*equilibria[mode])[i];
+        dist2 += d * d;
+      }
+      if (std::sqrt(dist2) < options.convergence_radius) {
+        traj.converged = true;
+        break;
+      }
+    }
+  }
+  if (traj.points.back().t != t) traj.points.push_back({t, w, mode});
+  return traj;
+}
+
+}  // namespace spiv::sim

@@ -1,0 +1,61 @@
+// spiv::sim — numerical simulation of the closed-loop PWA switched system.
+//
+// Used by the examples and by property tests: trajectories started inside
+// a certified robust region W_i must converge to the mode's equilibrium
+// without ever switching mode (the semantic content of paper §VI-C), and
+// trajectories elsewhere exhibit the switching behaviour of §V.
+//
+// The integrator is an adaptive Cash–Karp RK45 with bisection-based
+// localization of guard crossings (switching is continuous in the state,
+// so only the flow changes at a crossing).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/switched_pi.hpp"
+
+namespace spiv::sim {
+
+struct SimOptions {
+  double t_end = 10.0;
+  double dt_initial = 1e-3;
+  double dt_min = 1e-9;
+  double dt_max = 0.05;
+  double rel_tol = 1e-7;
+  double abs_tol = 1e-10;
+  /// Record a trajectory point at least this often (simulation time).
+  double record_interval = 0.01;
+  std::size_t max_steps = 2000000;
+  /// Stop early when within this distance of the active mode equilibrium.
+  double convergence_radius = 0.0;
+};
+
+struct TrajectoryPoint {
+  double t = 0.0;
+  numeric::Vector w;
+  std::size_t mode = 0;
+};
+
+struct SwitchEvent {
+  double t = 0.0;
+  std::size_t from = 0;
+  std::size_t to = 0;
+};
+
+struct Trajectory {
+  std::vector<TrajectoryPoint> points;
+  std::vector<SwitchEvent> switches;
+  bool converged = false;  ///< reached convergence_radius before t_end
+  bool step_failed = false;  ///< step size underflow (stiff failure)
+
+  [[nodiscard]] const TrajectoryPoint& back() const { return points.back(); }
+};
+
+/// Integrate the switched system from w0 under constant reference r.
+[[nodiscard]] Trajectory simulate(const model::PwaSystem& system,
+                                  const numeric::Vector& r,
+                                  numeric::Vector w0,
+                                  const SimOptions& options = {});
+
+}  // namespace spiv::sim

@@ -1,0 +1,107 @@
+#include "smt/interval_cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace spiv::smt {
+
+namespace {
+
+/// Closed interval with outward-rounded arithmetic.  Directed rounding is
+/// emulated by widening every computed endpoint one ulp outward, which
+/// over-approximates the at-most-half-ulp error of each IEEE operation.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  static double down(double v) {
+    return std::nextafter(v, -std::numeric_limits<double>::infinity());
+  }
+  static double up(double v) {
+    return std::nextafter(v, std::numeric_limits<double>::infinity());
+  }
+
+  static Interval exact(double v) { return {v, v}; }
+
+  friend Interval operator+(const Interval& a, const Interval& b) {
+    return {down(a.lo + b.lo), up(a.hi + b.hi)};
+  }
+  friend Interval operator-(const Interval& a, const Interval& b) {
+    return {down(a.lo - b.hi), up(a.hi - b.lo)};
+  }
+  friend Interval operator*(const Interval& a, const Interval& b) {
+    const double p1 = a.lo * b.lo, p2 = a.lo * b.hi, p3 = a.hi * b.lo,
+                 p4 = a.hi * b.hi;
+    return {down(std::min({p1, p2, p3, p4})), up(std::max({p1, p2, p3, p4}))};
+  }
+  /// Division by an interval strictly positive (lo > 0).
+  friend Interval operator/(const Interval& a, const Interval& b) {
+    const double q1 = a.lo / b.lo, q2 = a.lo / b.hi, q3 = a.hi / b.lo,
+                 q4 = a.hi / b.hi;
+    return {down(std::min({q1, q2, q3, q4})), up(std::max({q1, q2, q3, q4}))};
+  }
+  /// Square root of a nonnegative interval.
+  [[nodiscard]] Interval sqrt() const {
+    return {down(std::sqrt(lo)), up(std::sqrt(hi))};
+  }
+};
+
+IntervalOutcome check(const std::vector<Interval>& a, std::size_t n) {
+  // Interval Cholesky: track L entries as intervals; decide from the pivot
+  // enclosures.
+  std::vector<Interval> l(n * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    Interval pivot = a[j * n + j];
+    for (std::size_t k = 0; k < j; ++k)
+      pivot = pivot - l[j * n + k] * l[j * n + k];
+    if (pivot.hi <= 0.0) return IntervalOutcome::ProvedNotPd;
+    if (pivot.lo <= 0.0) return IntervalOutcome::Unknown;
+    const Interval root = pivot.sqrt();
+    l[j * n + j] = root;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      Interval acc = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k)
+        acc = acc - l[i * n + k] * l[j * n + k];
+      l[i * n + j] = acc / root;
+    }
+  }
+  return IntervalOutcome::ProvedPd;
+}
+
+}  // namespace
+
+IntervalOutcome interval_cholesky_check(const exact::RatMatrix& m) {
+  if (!m.is_square() || !m.is_symmetric())
+    throw std::invalid_argument(
+        "interval_cholesky_check: symmetric matrix required");
+  const std::size_t n = m.rows();
+  std::vector<Interval> a(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      // Rational -> enclosing interval: our to_double is near-nearest;
+      // widening a few ulps each way gives a rigorous enclosure.
+      double v = m(i, j).to_double();
+      Interval iv = Interval::exact(v);
+      for (int w = 0; w < 4; ++w) {
+        iv.lo = Interval::down(iv.lo);
+        iv.hi = Interval::up(iv.hi);
+      }
+      a[i * n + j] = iv;
+    }
+  return check(a, n);
+}
+
+IntervalOutcome interval_cholesky_check(const numeric::Matrix& m) {
+  if (!m.is_square() || !m.is_symmetric(0.0))
+    throw std::invalid_argument(
+        "interval_cholesky_check: symmetric matrix required");
+  const std::size_t n = m.rows();
+  std::vector<Interval> a(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      a[i * n + j] = Interval::exact(m(i, j));
+  return check(a, n);
+}
+
+}  // namespace spiv::smt

@@ -1,0 +1,34 @@
+// spiv::smt — certified floating-point positive-definiteness checking via
+// interval (outward-rounded) Cholesky.
+//
+// A sixth engine class, complementing the exact-rational ones: VSDP-style
+// verified numerics.  The factorization is run in double precision with
+// every operation's result widened to a rigorous enclosure (directed
+// rounding emulated through nextafter); if even the *lower* bounds of all
+// pivots stay positive, the matrix is provably PD — at floating-point
+// speed.  The price is incompleteness: near-singular inputs return
+// Unknown, where the exact engines still decide.
+#pragma once
+
+#include "exact/matrix.hpp"
+#include "numeric/matrix.hpp"
+
+namespace spiv::smt {
+
+enum class IntervalOutcome {
+  ProvedPd,     ///< rigorous proof of positive definiteness
+  ProvedNotPd,  ///< rigorous disproof (an upper pivot bound <= 0)
+  Unknown,      ///< enclosure too wide to decide
+};
+
+/// Rigorous PD check of a symmetric rational matrix (the entries are
+/// converted to enclosing double intervals first, so the verdict is valid
+/// for the exact rational input).
+[[nodiscard]] IntervalOutcome interval_cholesky_check(
+    const exact::RatMatrix& m);
+
+/// Convenience overload for double input (entries are exact doubles).
+[[nodiscard]] IntervalOutcome interval_cholesky_check(
+    const numeric::Matrix& m);
+
+}  // namespace spiv::smt

@@ -1,0 +1,225 @@
+// Unit and property tests for spiv::exact::BigInt.
+#include "exact/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+namespace spiv::exact {
+namespace {
+
+TEST(BigInt, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.sign(), 0);
+  EXPECT_EQ(z.to_string(), "0");
+  EXPECT_EQ(z.bit_length(), 0u);
+}
+
+TEST(BigInt, FromInt64RoundTrips) {
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+                         std::int64_t{42}, std::int64_t{-123456789},
+                         std::int64_t{1} << 40,
+                         std::numeric_limits<std::int64_t>::max(),
+                         std::numeric_limits<std::int64_t>::min()}) {
+    BigInt b{v};
+    EXPECT_TRUE(b.fits_int64()) << v;
+    EXPECT_EQ(b.to_int64(), v);
+    EXPECT_EQ(b.to_string(), std::to_string(v));
+  }
+}
+
+TEST(BigInt, ParseRoundTrips) {
+  const std::string big = "123456789012345678901234567890123456789";
+  BigInt b{big};
+  EXPECT_EQ(b.to_string(), big);
+  BigInt neg{"-" + big};
+  EXPECT_EQ(neg.to_string(), "-" + big);
+  EXPECT_FALSE(b.fits_int64());
+  EXPECT_THROW(b.to_int64(), std::range_error);
+}
+
+TEST(BigInt, ParseRejectsGarbage) {
+  EXPECT_THROW(BigInt{""}, std::invalid_argument);
+  EXPECT_THROW(BigInt{"-"}, std::invalid_argument);
+  EXPECT_THROW(BigInt{"12a3"}, std::invalid_argument);
+}
+
+TEST(BigInt, AdditionCarriesAcrossLimbs) {
+  BigInt a{"4294967295"};  // 2^32 - 1
+  BigInt one{1};
+  EXPECT_EQ((a + one).to_string(), "4294967296");
+  BigInt b{"18446744073709551615"};  // 2^64 - 1
+  EXPECT_EQ((b + one).to_string(), "18446744073709551616");
+}
+
+TEST(BigInt, SubtractionSignHandling) {
+  BigInt a{5}, b{9};
+  EXPECT_EQ((a - b).to_int64(), -4);
+  EXPECT_EQ((b - a).to_int64(), 4);
+  EXPECT_EQ((a - a).to_int64(), 0);
+  EXPECT_TRUE((a - a).is_zero());
+}
+
+TEST(BigInt, MultiplicationLarge) {
+  BigInt a{"123456789012345678901234567890"};
+  BigInt b{"987654321098765432109876543210"};
+  EXPECT_EQ((a * b).to_string(),
+            "121932631137021795226185032733622923332237463801111263526900");
+}
+
+TEST(BigInt, DivisionTruncatesTowardZero) {
+  EXPECT_EQ((BigInt{7} / BigInt{2}).to_int64(), 3);
+  EXPECT_EQ((BigInt{-7} / BigInt{2}).to_int64(), -3);
+  EXPECT_EQ((BigInt{7} / BigInt{-2}).to_int64(), -3);
+  EXPECT_EQ((BigInt{-7} / BigInt{-2}).to_int64(), 3);
+  EXPECT_EQ((BigInt{7} % BigInt{2}).to_int64(), 1);
+  EXPECT_EQ((BigInt{-7} % BigInt{2}).to_int64(), -1);
+  EXPECT_EQ((BigInt{7} % BigInt{-2}).to_int64(), 1);
+}
+
+TEST(BigInt, DivisionByZeroThrows) {
+  EXPECT_THROW(BigInt{1} / BigInt{0}, std::domain_error);
+  EXPECT_THROW(BigInt{1} % BigInt{0}, std::domain_error);
+}
+
+TEST(BigInt, MultiLimbDivisionKnuthCases) {
+  // Exercises the add-back branch region: numerator close to divisor * base.
+  BigInt num{"340282366920938463463374607431768211456"};  // 2^128
+  BigInt den{"18446744073709551616"};                     // 2^64
+  EXPECT_EQ((num / den).to_string(), "18446744073709551616");
+  EXPECT_TRUE((num % den).is_zero());
+
+  BigInt a{"123456789123456789123456789123456789"};
+  BigInt b{"98765432109876543210"};
+  BigInt q = a / b;
+  BigInt r = a % b;
+  EXPECT_EQ((q * b + r), a);
+  EXPECT_LT(r.abs(), b.abs());
+}
+
+TEST(BigInt, Comparisons) {
+  EXPECT_LT(BigInt{-5}, BigInt{3});
+  EXPECT_LT(BigInt{-5}, BigInt{-3});
+  EXPECT_GT(BigInt{"100000000000000000000"}, BigInt{"99999999999999999999"});
+  EXPECT_EQ(BigInt{7}, BigInt{"7"});
+}
+
+TEST(BigInt, GcdBasics) {
+  EXPECT_EQ(BigInt::gcd(BigInt{12}, BigInt{18}).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt{-12}, BigInt{18}).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt{0}, BigInt{5}).to_int64(), 5);
+  EXPECT_EQ(BigInt::gcd(BigInt{0}, BigInt{0}).to_int64(), 0);
+  EXPECT_EQ(BigInt::gcd(BigInt{"1000000007"}, BigInt{"998244353"}).to_int64(), 1);
+}
+
+TEST(BigInt, PowAndPow10) {
+  EXPECT_EQ(BigInt{2}.pow(10).to_int64(), 1024);
+  EXPECT_EQ(BigInt{10}.pow(0).to_int64(), 1);
+  EXPECT_EQ(BigInt::pow10(20).to_string(), "100000000000000000000");
+  EXPECT_EQ(BigInt{-3}.pow(3).to_int64(), -27);
+  EXPECT_EQ(BigInt{-3}.pow(4).to_int64(), 81);
+}
+
+TEST(BigInt, Shifts) {
+  BigInt one{1};
+  EXPECT_EQ(one.shifted_left(100).shifted_right(100), one);
+  EXPECT_EQ(one.shifted_left(100).bit_length(), 101u);
+  EXPECT_EQ(BigInt{5}.shifted_right(1).to_int64(), 2);
+  EXPECT_EQ(BigInt{-8}.shifted_left(2).to_int64(), -32);
+  EXPECT_TRUE(BigInt{3}.shifted_right(10).is_zero());
+}
+
+TEST(BigInt, ToDoubleAccuracy) {
+  EXPECT_DOUBLE_EQ(BigInt{12345}.to_double(), 12345.0);
+  EXPECT_DOUBLE_EQ(BigInt{-12345}.to_double(), -12345.0);
+  BigInt huge = BigInt{1}.shifted_left(200);
+  EXPECT_NEAR(huge.to_double() / std::ldexp(1.0, 200), 1.0, 1e-12);
+}
+
+// --- property tests against int64/double reference arithmetic ---
+
+class BigIntRandomProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BigIntRandomProperty, RingLawsAgainstInt64) {
+  std::mt19937_64 rng{GetParam()};
+  std::uniform_int_distribution<std::int64_t> dist{-1000000000, 1000000000};
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::int64_t x = dist(rng), y = dist(rng), z = dist(rng);
+    BigInt bx{x}, by{y}, bz{z};
+    EXPECT_EQ((bx + by).to_int64(), x + y);
+    EXPECT_EQ((bx - by).to_int64(), x - y);
+    EXPECT_EQ((bx * by).to_int64(), x * y);
+    // Associativity / distributivity.
+    EXPECT_EQ(((bx + by) + bz), (bx + (by + bz)));
+    EXPECT_EQ((bx * (by + bz)), (bx * by + bx * bz));
+    if (y != 0) {
+      EXPECT_EQ((bx / by).to_int64(), x / y);
+      EXPECT_EQ((bx % by).to_int64(), x % y);
+    }
+  }
+}
+
+TEST_P(BigIntRandomProperty, DivModInvariantOnHugeOperands) {
+  std::mt19937_64 rng{GetParam() + 17};
+  auto random_big = [&rng](int limbs) {
+    BigInt acc;
+    std::uniform_int_distribution<std::int64_t> d{0,
+        std::numeric_limits<std::int64_t>::max()};
+    for (int i = 0; i < limbs; ++i) {
+      acc = acc.shifted_left(62);
+      acc += BigInt{d(rng)};
+    }
+    return rng() % 2 ? acc : acc.negated();
+  };
+  for (int iter = 0; iter < 50; ++iter) {
+    BigInt a = random_big(1 + static_cast<int>(rng() % 8));
+    BigInt b = random_big(1 + static_cast<int>(rng() % 5));
+    if (b.is_zero()) continue;
+    auto [q, r] = BigInt::div_mod(a, b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r.abs(), b.abs());
+    // Remainder sign follows dividend (truncated division).
+    if (!r.is_zero()) EXPECT_EQ(r.sign(), a.sign());
+  }
+}
+
+TEST_P(BigIntRandomProperty, StringRoundTrip) {
+  std::mt19937_64 rng{GetParam() + 99};
+  std::uniform_int_distribution<std::int64_t> d{
+      std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max()};
+  for (int iter = 0; iter < 100; ++iter) {
+    BigInt a{d(rng)};
+    BigInt b = a * a * a;  // force multi-limb
+    EXPECT_EQ(BigInt{b.to_string()}, b);
+  }
+}
+
+TEST_P(BigIntRandomProperty, KaratsubaMatchesSchoolbookViaIdentity) {
+  // (a+b)^2 == a^2 + 2ab + b^2 on operands big enough to cross the
+  // Karatsuba threshold.
+  std::mt19937_64 rng{GetParam() + 7};
+  auto random_wide = [&rng]() {
+    BigInt acc{1};
+    for (int i = 0; i < 40; ++i) {
+      acc = acc.shifted_left(31);
+      acc += BigInt{static_cast<std::int64_t>(rng() & 0x7fffffff)};
+    }
+    return acc;
+  };
+  for (int iter = 0; iter < 10; ++iter) {
+    BigInt a = random_wide(), b = random_wide();
+    BigInt lhs = (a + b) * (a + b);
+    BigInt rhs = a * a + a * b + a * b + b * b;
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntRandomProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace spiv::exact

@@ -1,0 +1,161 @@
+// Tests for complex Schur decomposition and eigen-decomposition.
+#include "numeric/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace spiv::numeric {
+namespace {
+
+Matrix random_matrix(std::mt19937_64& rng, std::size_t n) {
+  std::normal_distribution<double> d{0.0, 1.0};
+  Matrix out{n, n};
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) out(i, j) = d(rng);
+  return out;
+}
+
+double schur_residual(const Matrix& a, const ComplexSchur& s) {
+  // || A U - U T ||_F
+  CMatrix au = CMatrix::from_real(a) * s.u;
+  CMatrix ut = s.u * s.t;
+  return (au - ut).frobenius_norm();
+}
+
+double unitarity_residual(const CMatrix& u) {
+  CMatrix prod = u.adjoint() * u;
+  CMatrix eye = CMatrix::identity(u.rows());
+  return (prod - eye).frobenius_norm();
+}
+
+TEST(ComplexSchur, DiagonalMatrixIsItsOwnSchurForm) {
+  Matrix a = Matrix::diagonal(Vector{-1, -2, -3});
+  auto s = complex_schur(a);
+  EXPECT_TRUE(s.converged);
+  EXPECT_LT(schur_residual(a, s), 1e-12);
+  std::vector<double> eigs;
+  for (std::size_t i = 0; i < 3; ++i) eigs.push_back(s.t(i, i).real());
+  std::sort(eigs.begin(), eigs.end());
+  EXPECT_NEAR(eigs[0], -3.0, 1e-12);
+  EXPECT_NEAR(eigs[2], -1.0, 1e-12);
+}
+
+TEST(ComplexSchur, RotationMatrixHasComplexPair) {
+  // [[0, -1], [1, 0]] has eigenvalues +/- i.
+  Matrix a{{0, -1}, {1, 0}};
+  auto vals = eigenvalues(a);
+  ASSERT_EQ(vals.size(), 2u);
+  std::sort(vals.begin(), vals.end(),
+            [](Complex x, Complex y) { return x.imag() < y.imag(); });
+  EXPECT_NEAR(vals[0].real(), 0.0, 1e-12);
+  EXPECT_NEAR(vals[0].imag(), -1.0, 1e-12);
+  EXPECT_NEAR(vals[1].imag(), 1.0, 1e-12);
+}
+
+TEST(ComplexSchur, RandomMatricesDecomposeAccurately) {
+  std::mt19937_64 rng{11};
+  for (std::size_t n : {2u, 3u, 5u, 8u, 13u, 21u}) {
+    Matrix a = random_matrix(rng, n);
+    auto s = complex_schur(a);
+    EXPECT_TRUE(s.converged) << "n=" << n;
+    EXPECT_LT(schur_residual(a, s), 1e-9 * (1.0 + a.frobenius_norm()))
+        << "n=" << n;
+    EXPECT_LT(unitarity_residual(s.u), 1e-10) << "n=" << n;
+    // T strictly upper triangular below diagonal.
+    for (std::size_t i = 1; i < n; ++i)
+      for (std::size_t j = 0; j < i; ++j)
+        EXPECT_EQ(s.t(i, j), (Complex{0.0, 0.0}));
+  }
+}
+
+TEST(ComplexSchur, EigenvalueSumEqualsTrace) {
+  std::mt19937_64 rng{23};
+  for (int iter = 0; iter < 10; ++iter) {
+    const std::size_t n = 4 + iter;
+    Matrix a = random_matrix(rng, n);
+    auto vals = eigenvalues(a);
+    Complex sum{};
+    for (auto v : vals) sum += v;
+    double trace = 0.0;
+    for (std::size_t i = 0; i < n; ++i) trace += a(i, i);
+    EXPECT_NEAR(sum.real(), trace, 1e-8);
+    EXPECT_NEAR(sum.imag(), 0.0, 1e-8);
+  }
+}
+
+TEST(EigenDecompose, EigenvectorsSatisfyDefinition) {
+  std::mt19937_64 rng{31};
+  for (std::size_t n : {3u, 6u, 10u}) {
+    Matrix a = random_matrix(rng, n);
+    auto e = eigen_decompose(a);
+    EXPECT_TRUE(e.converged);
+    CMatrix ca = CMatrix::from_real(a);
+    for (std::size_t k = 0; k < n; ++k) {
+      // || A v - lambda v || small, ||v|| == 1.
+      double vnorm = 0.0, rnorm = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        Complex av{};
+        for (std::size_t j = 0; j < n; ++j) av += ca(i, j) * e.modal(j, k);
+        const Complex r = av - e.values[k] * e.modal(i, k);
+        rnorm += std::norm(r);
+        vnorm += std::norm(e.modal(i, k));
+      }
+      EXPECT_NEAR(std::sqrt(vnorm), 1.0, 1e-9);
+      EXPECT_LT(std::sqrt(rnorm), 1e-7 * (1.0 + std::abs(e.values[k])));
+    }
+  }
+}
+
+TEST(EigenDecompose, ModalMatrixInvertibleForDistinctEigenvalues) {
+  Matrix a{{-1, 1, 0}, {0, -2, 1}, {0, 0, -3}};
+  auto e = eigen_decompose(a);
+  auto inv = e.modal.inverse();
+  ASSERT_TRUE(inv.has_value());
+  // M^-1 A M should be (close to) diagonal with the eigenvalues.
+  CMatrix d = *inv * CMatrix::from_real(a) * e.modal;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i == j) continue;
+      EXPECT_LT(std::abs(d(i, j)), 1e-9);
+    }
+}
+
+TEST(Hurwitz, ClassifiesStability) {
+  EXPECT_TRUE(is_hurwitz(Matrix::diagonal(Vector{-1, -0.5})));
+  EXPECT_FALSE(is_hurwitz(Matrix::diagonal(Vector{-1, 0.5})));
+  // Marginally stable oscillator is not Hurwitz.
+  Matrix osc{{0, -1}, {1, 0}};
+  EXPECT_FALSE(is_hurwitz(osc));
+  EXPECT_NEAR(spectral_abscissa(osc), 0.0, 1e-12);
+  // Damped oscillator is.
+  Matrix damped{{-0.1, -1}, {1, -0.1}};
+  EXPECT_TRUE(is_hurwitz(damped));
+  EXPECT_NEAR(spectral_abscissa(damped), -0.1, 1e-10);
+}
+
+TEST(CMatrixOps, InverseAndAdjoint) {
+  CMatrix m{2, 2};
+  m(0, 0) = Complex{1, 1};
+  m(0, 1) = Complex{0, 2};
+  m(1, 0) = Complex{3, 0};
+  m(1, 1) = Complex{1, -1};
+  auto inv = m.inverse();
+  ASSERT_TRUE(inv.has_value());
+  CMatrix prod = m * *inv;
+  EXPECT_LT((prod - CMatrix::identity(2)).frobenius_norm(), 1e-12);
+  CMatrix adj = m.adjoint();
+  EXPECT_EQ(adj(0, 1), (Complex{3, 0}));
+  EXPECT_EQ(adj(1, 0), (Complex{0, -2}));
+  // Singular complex matrix.
+  CMatrix s{2, 2};
+  s(0, 0) = Complex{1, 0};
+  s(0, 1) = Complex{2, 0};
+  s(1, 0) = Complex{2, 0};
+  s(1, 1) = Complex{4, 0};
+  EXPECT_FALSE(s.inverse().has_value());
+}
+
+}  // namespace
+}  // namespace spiv::numeric

@@ -1,0 +1,134 @@
+// Deep checks of the engine case study against the paper's §V semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/engine.hpp"
+#include "model/reduction.hpp"
+#include "numeric/eigen.hpp"
+#include "sim/integrator.hpp"
+
+namespace spiv::model {
+namespace {
+
+using numeric::Matrix;
+using numeric::Vector;
+
+TEST(EngineCaseStudy, SwitchingLawMatchesPaperDefinition) {
+  // Paper §V-B: i = 0 if r0 - y0 < Theta, else 1.
+  StateSpace plant = make_engine_model();
+  SwitchedPiController ctrl = make_engine_controller();
+  Vector r = make_engine_references(plant);
+  PwaSystem sys = close_loop(plant, ctrl, r);
+
+  // Drive y0 via the N1 sensor state (C row 0 reads state 12 with gain 1).
+  auto w_with_y0 = [&](double y0) {
+    Vector w(sys.dim(), 0.0);
+    w[12] = y0;
+    return w;
+  };
+  for (double y0 : {-10.0, 0.0, r[0] - 2.0, r[0] - 1.0001}) {
+    EXPECT_EQ(sys.mode_of(w_with_y0(y0)), 1u)
+        << "r0 - y0 = " << r[0] - y0 << " >= Theta must select mode 1";
+  }
+  for (double y0 : {r[0] - 0.9999, r[0], r[0] + 5.0}) {
+    EXPECT_EQ(sys.mode_of(w_with_y0(y0)), 0u)
+        << "r0 - y0 = " << r[0] - y0 << " < Theta must select mode 0";
+  }
+  // Boundary r0 - y0 == Theta belongs to mode 1 (non-strict guard).
+  EXPECT_EQ(sys.mode_of(w_with_y0(r[0] - kEngineTheta)), 1u);
+}
+
+TEST(EngineCaseStudy, FlowIsContinuousAcrossTheSwitchingSurface) {
+  // The paper's switching is continuous: w does not jump, only wdot does;
+  // moreover the u1, u2 components of the flow agree across the surface
+  // (those controller rows are identical in both modes).
+  StateSpace plant = make_engine_model();
+  SwitchedPiController ctrl = make_engine_controller();
+  Vector r = make_engine_references(plant);
+  PwaSystem sys = close_loop(plant, ctrl, r);
+  // A state exactly on the surface: y0 = r0 - Theta.
+  Vector w(sys.dim(), 0.5);
+  w[12] = r[0] - kEngineTheta;
+  Vector f0 = sys.mode(0).a.apply(w);
+  Vector f1 = sys.mode(1).a.apply(w);
+  const Vector d0 = sys.mode(0).drift(r);
+  const Vector d1 = sys.mode(1).drift(r);
+  for (std::size_t i = 0; i < sys.dim(); ++i) {
+    f0[i] += d0[i];
+    f1[i] += d1[i];
+  }
+  // Plant rows (first 18) agree identically: same A, B.
+  for (std::size_t i = 0; i < 18; ++i) EXPECT_NEAR(f0[i], f1[i], 1e-12);
+  // u1 (nozzle) and u2 (IGV) controller rows agree (same gains).
+  EXPECT_NEAR(f0[19], f1[19], 1e-9);
+  EXPECT_NEAR(f0[20], f1[20], 1e-9);
+  // The fuel row (u0) genuinely switches.
+  EXPECT_GT(std::abs(f0[18] - f1[18]), 1e-6);
+}
+
+TEST(EngineCaseStudy, PairedChannelsHavePositiveDcGainsAndInteraction) {
+  // The loop pairing of §V-B requires positive diagonal channel gains and
+  // a positive Niederlinski-style interaction determinant in both modes.
+  StateSpace plant = make_engine_model();
+  Matrix g = plant.dc_gain();  // 4 outputs x 3 inputs
+  EXPECT_GT(g(0, 0), 0.0);  // fuel -> LPC speed   (mode 0 pairing)
+  EXPECT_GT(g(1, 0), 0.0);  // fuel -> HPC PR      (mode 1 pairing)
+  EXPECT_GT(g(2, 1), 0.0);  // nozzle -> Mach exit
+  EXPECT_GT(g(3, 2), 0.0);  // IGV -> N2 speed
+  // Mode-0 3x3 pairing determinant (y0, y2, y3) x (u0, u1, u2).
+  auto det3 = [&](int r0, int r1, int r2) {
+    Matrix m{{g(r0, 0), g(r0, 1), g(r0, 2)},
+             {g(r1, 0), g(r1, 1), g(r1, 2)},
+             {g(r2, 0), g(r2, 1), g(r2, 2)}};
+    return m.determinant();
+  };
+  EXPECT_GT(det3(0, 2, 3), 0.0);
+  EXPECT_GT(det3(1, 2, 3), 0.0);
+}
+
+TEST(EngineCaseStudy, Mode1LimitsLpcSpoolSpeed) {
+  // The purpose of the switching logic: when the LPC spool speed demand
+  // exceeds the limit, mode 1 holds y0 *below* r0 - Theta + margin.
+  StateSpace plant = balanced_truncation(make_engine_model(), 5).sys;
+  SwitchedPiController ctrl = make_engine_controller();
+  Vector r = make_engine_references(plant);
+  PwaSystem sys = close_loop(plant, ctrl, r);
+  sim::SimOptions options;
+  options.t_end = 120.0;
+  options.convergence_radius = 1e-8;
+  sim::Trajectory traj = sim::simulate(sys, r, Vector(sys.dim(), 0.0), options);
+  // Settled in mode 1, with y0 at most r0 - Theta.
+  EXPECT_EQ(traj.back().mode, 1u);
+  Vector x(traj.back().w.begin(), traj.back().w.begin() + 5);
+  Vector y = plant.c.apply(x);
+  EXPECT_LE(y[0], r[0] - kEngineTheta + 1e-6);
+  // And the mode-1 integrators drove their channels to the references.
+  EXPECT_NEAR(y[1], r[1], 1e-4);
+  EXPECT_NEAR(y[2], r[2], 1e-4);
+  EXPECT_NEAR(y[3], r[3], 1e-4);
+}
+
+TEST(EngineCaseStudy, ReferencesScaleWithTheta) {
+  StateSpace plant = make_engine_model();
+  Vector r1 = make_engine_references(plant, 1.0);
+  Vector r2 = make_engine_references(plant, 2.0);
+  // r0 = y0_eq1 + 2*Theta and y0_eq1 is Theta-independent.
+  EXPECT_NEAR(r2[0] - r1[0], 2.0, 1e-9);
+  EXPECT_EQ(r1[1], r2[1]);
+}
+
+TEST(EngineCaseStudy, HankelSpectrumSupportsPaperReductionSizes) {
+  // The paper reduces to 3/5/10/15: the Hankel spectrum of the engine must
+  // decay enough that those orders are meaningful (tail << head).
+  auto red = balanced_truncation(make_engine_model(), 3);
+  const auto& h = red.hankel_singular_values;
+  double head = h[0] + h[1] + h[2];
+  double tail = 0.0;
+  for (std::size_t i = 3; i < h.size(); ++i) tail += h[i];
+  EXPECT_LT(tail, 0.35 * head);
+  EXPECT_LT(h[10] / h[0], 1e-3);
+}
+
+}  // namespace
+}  // namespace spiv::model

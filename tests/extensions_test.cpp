@@ -1,0 +1,106 @@
+// Tests for the beyond-the-paper extensions: common Lyapunov functions,
+// exponential certificates, empirical region stability.
+#include "lyapunov/extensions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/engine.hpp"
+#include "model/reduction.hpp"
+#include "numeric/eigen.hpp"
+
+namespace spiv::lyap {
+namespace {
+
+using numeric::Matrix;
+using numeric::Vector;
+
+TEST(CommonLyapunov, ExistsForCommutingStableModes) {
+  // Two diagonal (hence commuting) Hurwitz matrices always share a
+  // quadratic Lyapunov function.
+  Matrix a0 = Matrix::diagonal(Vector{-1, -3});
+  Matrix a1 = Matrix::diagonal(Vector{-2, -0.5});
+  auto c = synthesize_common({a0, a1});
+  ASSERT_TRUE(c.has_value());
+  EXPECT_TRUE(validate_common({a0, a1}, c->p));
+}
+
+TEST(CommonLyapunov, InfeasibleWhenOneModeIsUnstable) {
+  Matrix a0 = Matrix::diagonal(Vector{-1, -3});
+  Matrix a1 = Matrix::diagonal(Vector{-2, 0.5});
+  SynthesisOptions options;
+  options.deadline = Deadline::after_seconds(10);
+  auto c = synthesize_common({a0, a1}, options);
+  if (c.has_value()) EXPECT_FALSE(validate_common({a0, a1}, c->p));
+}
+
+TEST(CommonLyapunov, EngineModesShareAQuadraticCertificate) {
+  // The two closed-loop modes of the (reduced) engine: a common quadratic
+  // Lyapunov function strengthens the paper's per-mode analysis.
+  model::StateSpace plant =
+      model::balanced_truncation(model::make_engine_model(), 5).sys;
+  Matrix a0 = model::close_loop_single_mode(plant, model::engine_gains_mode0()).a;
+  Matrix a1 = model::close_loop_single_mode(plant, model::engine_gains_mode1()).a;
+  auto c = synthesize_common({a0, a1});
+  ASSERT_TRUE(c.has_value());
+  EXPECT_TRUE(validate_common({a0, a1}, c->p));
+}
+
+TEST(CommonLyapunov, RejectsEmptyAndMismatched) {
+  EXPECT_THROW(synthesize_common({}), std::invalid_argument);
+  EXPECT_THROW(synthesize_common({Matrix::identity(2), Matrix::identity(3)}),
+               std::invalid_argument);
+}
+
+TEST(ExponentialCertificate, MatchesClosedFormOnDiagonalSystem) {
+  // A = diag(-1, -2), P = I: S = diag(2, 4); S - alpha P >= 0 iff
+  // alpha <= 2.  The certified alpha must approach 2 from below.
+  Matrix a = Matrix::diagonal(Vector{-1, -2});
+  Matrix p = Matrix::identity(2);
+  auto cert = exponential_certificate(a, p, 10, 1e-4);
+  ASSERT_TRUE(cert.valid);
+  EXPECT_GT(cert.alpha, 1.99);
+  EXPECT_LE(cert.alpha, 2.0);
+  EXPECT_NEAR(cert.settling_time, std::log(1e6) / cert.alpha, 1e-9);
+}
+
+TEST(ExponentialCertificate, ZeroForNonLyapunovCandidate) {
+  Matrix a = Matrix::diagonal(Vector{1.0, -2});  // unstable
+  Matrix p = Matrix::identity(2);
+  auto cert = exponential_certificate(a, p);
+  EXPECT_FALSE(cert.valid);
+  EXPECT_EQ(cert.alpha, 0.0);
+  EXPECT_TRUE(std::isinf(cert.settling_time));
+}
+
+TEST(ExponentialCertificate, EngineModeHasPositiveDecayRate) {
+  model::StateSpace plant =
+      model::balanced_truncation(model::make_engine_model(), 3).sys;
+  Matrix a = model::close_loop_single_mode(plant, model::engine_gains_mode0()).a;
+  SynthesisOptions options;
+  options.alpha = 0.1;
+  auto cand = synthesize(a, Method::LmiAlpha, options);
+  ASSERT_TRUE(cand.has_value());
+  auto cert = exponential_certificate(a, cand->p);
+  ASSERT_TRUE(cert.valid);
+  // LMIa guaranteed at least alpha = 0.1; the certificate can only improve.
+  EXPECT_GE(cert.alpha, 0.1 * 0.9);
+  EXPECT_LT(cert.settling_time, 1e4);
+}
+
+TEST(RegionStability, SwitchedEngineTrajectoriesAreTrapped) {
+  model::StateSpace plant =
+      model::balanced_truncation(model::make_engine_model(), 3).sys;
+  model::SwitchedPiController ctrl = model::make_engine_controller();
+  Vector r = model::make_engine_references(plant);
+  model::PwaSystem sys = model::close_loop(plant, ctrl, r);
+  auto report = check_region_stability(sys, r, /*amplitude=*/2.0,
+                                       /*radius=*/0.05, /*samples=*/8,
+                                       /*t_end=*/400.0);
+  EXPECT_EQ(report.samples, 8);
+  EXPECT_TRUE(report.all_trapped()) << report.trapped << "/" << report.samples;
+}
+
+}  // namespace
+}  // namespace spiv::lyap

@@ -1,0 +1,90 @@
+// Tests for the certified interval-Cholesky engine.
+#include "smt/interval_cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "numeric/lyapunov.hpp"
+#include "numeric/eigen.hpp"
+#include "smt/validate.hpp"
+
+namespace spiv::smt {
+namespace {
+
+using exact::RatMatrix;
+using exact::Rational;
+
+Rational q(std::int64_t n, std::int64_t d = 1) { return Rational{n, d}; }
+
+TEST(IntervalCholesky, DecidesClearCases) {
+  RatMatrix pd{{q(4), q(1)}, {q(1), q(3)}};
+  EXPECT_EQ(interval_cholesky_check(pd), IntervalOutcome::ProvedPd);
+  RatMatrix indef{{q(1), q(3)}, {q(3), q(1)}};
+  EXPECT_EQ(interval_cholesky_check(indef), IntervalOutcome::ProvedNotPd);
+  RatMatrix neg{{q(-1), q(0)}, {q(0), q(2)}};
+  EXPECT_EQ(interval_cholesky_check(neg), IntervalOutcome::ProvedNotPd);
+}
+
+TEST(IntervalCholesky, UnknownOnSingularAndNearSingular) {
+  // Exactly singular PSD: pivot enclosure straddles zero -> Unknown (the
+  // engine is sound, never wrong, but incomplete).
+  RatMatrix psd{{q(1), q(1)}, {q(1), q(1)}};
+  EXPECT_EQ(interval_cholesky_check(psd), IntervalOutcome::Unknown);
+  // Near-singular PD: tiny eigenvalue below the enclosure resolution.
+  numeric::Matrix near{{1.0, 1.0}, {1.0, 1.0 + 1e-17}};
+  EXPECT_NE(interval_cholesky_check(near), IntervalOutcome::ProvedNotPd);
+}
+
+TEST(IntervalCholesky, SoundnessAgainstExactOracle) {
+  // On random integer symmetric matrices the interval verdict, when
+  // decisive, must agree with the exact Sylvester engine.
+  std::mt19937_64 rng{71};
+  std::uniform_int_distribution<std::int64_t> d{-5, 5};
+  int decided = 0;
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::size_t n = 2 + iter % 5;
+    RatMatrix m{n, n};
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i; j < n; ++j) {
+        m(i, j) = Rational{d(rng)};
+        m(j, i) = m(i, j);
+      }
+    auto iv = interval_cholesky_check(m);
+    if (iv == IntervalOutcome::Unknown) continue;
+    ++decided;
+    auto exact_verdict = check_positive_definite(m, Engine::Sylvester);
+    if (iv == IntervalOutcome::ProvedPd)
+      EXPECT_EQ(exact_verdict.outcome, Outcome::Valid) << "iter " << iter;
+    else
+      EXPECT_EQ(exact_verdict.outcome, Outcome::Invalid) << "iter " << iter;
+  }
+  EXPECT_GT(decided, 25);  // decisive on the vast majority
+}
+
+TEST(IntervalCholesky, ProvesRealLyapunovCandidates) {
+  // The engine proves PD-ness of Bartels-Stewart candidates on a
+  // closed-loop-sized system in floating-point time.
+  std::mt19937_64 rng{72};
+  std::normal_distribution<double> dist;
+  const std::size_t n = 21;
+  numeric::Matrix a{n, n};
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(rng);
+  const double shift = numeric::spectral_abscissa(a) + 1.0;
+  for (std::size_t i = 0; i < n; ++i) a(i, i) -= shift;
+  auto p = numeric::solve_lyapunov(a, numeric::Matrix::identity(n));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(interval_cholesky_check(p->symmetrized()),
+            IntervalOutcome::ProvedPd);
+  numeric::Matrix lie = (a.transposed() * *p + *p * a).symmetrized();
+  EXPECT_EQ(interval_cholesky_check(-lie), IntervalOutcome::ProvedPd);
+}
+
+TEST(IntervalCholesky, RejectsNonSymmetric) {
+  RatMatrix ns{{q(1), q(2)}, {q(0), q(1)}};
+  EXPECT_THROW(interval_cholesky_check(ns), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spiv::smt

@@ -1,0 +1,89 @@
+// Tests for the Bartels–Stewart Lyapunov solver (eq-num method substrate).
+#include "numeric/lyapunov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "numeric/eigen.hpp"
+
+namespace spiv::numeric {
+namespace {
+
+Matrix random_hurwitz(std::mt19937_64& rng, std::size_t n) {
+  // Random matrix shifted left until stable.
+  std::normal_distribution<double> d{0.0, 1.0};
+  Matrix a{n, n};
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = d(rng);
+  const double abscissa = spectral_abscissa(a);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) -= abscissa + 0.5;
+  return a;
+}
+
+TEST(SolveLyapunov, DiagonalClosedForm) {
+  Matrix a = Matrix::diagonal(Vector{-1, -2});
+  auto p = solve_lyapunov(a, Matrix::identity(2));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR((*p)(0, 0), 0.5, 1e-13);
+  EXPECT_NEAR((*p)(1, 1), 0.25, 1e-13);
+  EXPECT_NEAR((*p)(0, 1), 0.0, 1e-13);
+}
+
+TEST(SolveLyapunov, ResidualSmallOnRandomStableSystems) {
+  std::mt19937_64 rng{77};
+  for (std::size_t n : {2u, 4u, 8u, 15u, 18u, 21u}) {
+    Matrix a = random_hurwitz(rng, n);
+    Matrix q = Matrix::identity(n);
+    auto p = solve_lyapunov(a, q);
+    ASSERT_TRUE(p.has_value()) << "n=" << n;
+    Matrix res = lyapunov_residual(a, *p, q);
+    EXPECT_LT(res.frobenius_norm(), 1e-8 * (1.0 + p->frobenius_norm()))
+        << "n=" << n;
+    // P must be symmetric PD for Hurwitz A, Q = I.
+    EXPECT_TRUE(p->is_symmetric(1e-12));
+    EXPECT_TRUE(p->cholesky().has_value()) << "n=" << n;
+  }
+}
+
+TEST(SolveLyapunov, DualEquationGramianForm) {
+  std::mt19937_64 rng{78};
+  Matrix a = random_hurwitz(rng, 6);
+  Matrix q = Matrix::identity(6);
+  auto w = solve_lyapunov_dual(a, q);
+  ASSERT_TRUE(w.has_value());
+  Matrix res = a * *w + *w * a.transposed() + q;
+  EXPECT_LT(res.frobenius_norm(), 1e-9 * (1.0 + w->frobenius_norm()));
+}
+
+TEST(SolveLyapunov, SingularSpectrumReturnsNullopt) {
+  // Eigenvalues {1, -1}: lambda_i + lambda_j = 0 -> singular operator.
+  Matrix a = Matrix::diagonal(Vector{1, -1});
+  EXPECT_FALSE(solve_lyapunov(a, Matrix::identity(2)).has_value());
+}
+
+TEST(SolveLyapunov, RejectsShapeMismatch) {
+  EXPECT_THROW(solve_lyapunov(Matrix{2, 3}, Matrix::identity(2)),
+               std::invalid_argument);
+  EXPECT_THROW(solve_lyapunov(Matrix::identity(2), Matrix::identity(3)),
+               std::invalid_argument);
+}
+
+TEST(SolveLyapunov, NonIdentityQ) {
+  std::mt19937_64 rng{79};
+  Matrix a = random_hurwitz(rng, 5);
+  // Q = R^T R + I is symmetric PD.
+  std::normal_distribution<double> d{0.0, 1.0};
+  Matrix r{5, 5};
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j) r(i, j) = d(rng);
+  Matrix q = r.transposed() * r + Matrix::identity(5);
+  auto p = solve_lyapunov(a, q);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_LT(lyapunov_residual(a, *p, q).frobenius_norm(),
+            1e-8 * (1.0 + p->frobenius_norm()));
+  EXPECT_TRUE(p->cholesky().has_value());
+}
+
+}  // namespace
+}  // namespace spiv::numeric

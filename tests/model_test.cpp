@@ -1,0 +1,171 @@
+// Tests for state-space models, the switched-PI closed-loop reformulation,
+// and the engine case study.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/engine.hpp"
+#include "model/state_space.hpp"
+#include "model/switched_pi.hpp"
+#include "numeric/eigen.hpp"
+
+namespace spiv::model {
+namespace {
+
+using numeric::Matrix;
+using numeric::Vector;
+
+TEST(StateSpace, ValidateAndDcGain) {
+  StateSpace sys;
+  sys.a = Matrix{{-1, 0}, {0, -2}};
+  sys.b = Matrix{{1}, {1}};
+  sys.c = Matrix{{1, 0}};
+  EXPECT_NO_THROW(sys.validate());
+  Matrix g = sys.dc_gain();
+  EXPECT_NEAR(g(0, 0), 1.0, 1e-14);  // C(-A)^-1 B = 1/1
+  EXPECT_TRUE(sys.is_stable());
+
+  StateSpace bad = sys;
+  bad.b = Matrix{3, 1};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(HalfSpace, ContainsAndStrictness) {
+  HalfSpace hs{Vector{1, 0}, -1.0, false};  // x0 - 1 >= 0
+  EXPECT_TRUE(hs.contains(Vector{1.0, 5.0}));
+  EXPECT_TRUE(hs.contains(Vector{2.0, 0.0}));
+  EXPECT_FALSE(hs.contains(Vector{0.5, 0.0}));
+  HalfSpace strict{Vector{1, 0}, -1.0, true};  // x0 - 1 > 0
+  EXPECT_FALSE(strict.contains(Vector{1.0, 0.0}));
+  EXPECT_DOUBLE_EQ(strict.evaluate(Vector{3.0, 0.0}), 2.0);
+}
+
+TEST(CloseLoop, SisoPiMatchesHandComputation) {
+  // Plant: xdot = -x + u, y = x.  PI: u = kp e + ki \int e.
+  // Closed loop on w = (x, u):
+  //   xdot = -x + u
+  //   udot = (-kp*c*a - ki*c) x - kp*c*b u + ki r = (kp - ki) x - kp u + ki r
+  StateSpace plant;
+  plant.a = Matrix{{-1}};
+  plant.b = Matrix{{1}};
+  plant.c = Matrix{{1}};
+  PiGains gains{Matrix{{2.0}}, Matrix{{3.0}}};  // kp=2, ki=3
+  PwaMode mode = close_loop_single_mode(plant, gains);
+  ASSERT_EQ(mode.a.rows(), 2u);
+  EXPECT_DOUBLE_EQ(mode.a(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(mode.a(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(mode.a(1, 0), 2.0 - 3.0);  // -kp*c*a - ki*c = 2 - 3
+  EXPECT_DOUBLE_EQ(mode.a(1, 1), -2.0);       // -kp*c*b
+  EXPECT_DOUBLE_EQ(mode.b(1, 0), 3.0);        // ki
+  EXPECT_DOUBLE_EQ(mode.b(0, 0), 0.0);
+
+  // Equilibrium: y = r  ->  x = r, u = x = r (since xdot=0 -> u = x).
+  Vector w_eq = mode.equilibrium(Vector{5.0});
+  EXPECT_NEAR(w_eq[0], 5.0, 1e-12);
+  EXPECT_NEAR(w_eq[1], 5.0, 1e-12);
+  // Closed loop must be Hurwitz for these gains.
+  EXPECT_TRUE(numeric::is_hurwitz(mode.a));
+}
+
+TEST(CloseLoop, EquilibriumTracksReferenceOutputs) {
+  // At a mode-i equilibrium, K_I e = 0; for diagonal-like K_I with a full
+  // column the error entries used by the integrators vanish.
+  StateSpace plant = make_engine_model();
+  Vector r = make_engine_references(plant);
+  PwaMode mode0 = close_loop_single_mode(plant, engine_gains_mode0());
+  Vector w_eq = mode0.equilibrium(r);
+  // Outputs at equilibrium.
+  Vector x(w_eq.begin(), w_eq.begin() + 18);
+  Vector y = plant.c.apply(x);
+  EXPECT_NEAR(y[0], r[0], 1e-8);  // mode 0 drives e0 -> 0
+  EXPECT_NEAR(y[2], r[2], 1e-8);  // e2 -> 0
+  EXPECT_NEAR(y[3], r[3], 1e-8);  // e3 -> 0
+  // y1 is uncontrolled in mode 0 (free).
+}
+
+TEST(Engine, DimensionsMatchPaper) {
+  StateSpace plant = make_engine_model();
+  EXPECT_EQ(plant.num_states(), 18u);
+  EXPECT_EQ(plant.num_inputs(), 3u);
+  EXPECT_EQ(plant.num_outputs(), 4u);
+  EXPECT_TRUE(plant.is_stable());
+  // Deterministic: two calls agree exactly.
+  StateSpace again = make_engine_model();
+  EXPECT_EQ(plant.a.data(), again.a.data());
+}
+
+TEST(Engine, PaperGainMatrices) {
+  PiGains g0 = engine_gains_mode0();
+  EXPECT_DOUBLE_EQ(g0.ki(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(g0.ki(1, 2), 100.0);
+  EXPECT_DOUBLE_EQ(g0.ki(2, 3), 2.0);
+  EXPECT_DOUBLE_EQ(g0.kp(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(g0.kp(1, 2), 10.0);
+  EXPECT_DOUBLE_EQ(g0.kp(2, 3), 0.5);
+  PiGains g1 = engine_gains_mode1();
+  EXPECT_DOUBLE_EQ(g1.ki(0, 1), 20.0);
+  EXPECT_DOUBLE_EQ(g1.kp(0, 1), 0.1);
+  EXPECT_DOUBLE_EQ(g1.ki(0, 0), 0.0);
+}
+
+TEST(Engine, ClosedLoopHurwitzInBothModes) {
+  StateSpace plant = make_engine_model();
+  for (const PiGains& g : {engine_gains_mode0(), engine_gains_mode1()}) {
+    PwaMode mode = close_loop_single_mode(plant, g);
+    EXPECT_EQ(mode.a.rows(), 21u);
+    EXPECT_TRUE(numeric::is_hurwitz(mode.a))
+        << "closed-loop spectral abscissa: "
+        << numeric::spectral_abscissa(mode.a);
+  }
+}
+
+TEST(Engine, SwitchedSystemRegionsArePlacedCorrectly) {
+  StateSpace plant = make_engine_model();
+  SwitchedPiController ctrl = make_engine_controller();
+  Vector r = make_engine_references(plant);
+  PwaSystem sys = close_loop(plant, ctrl, r);
+  ASSERT_EQ(sys.num_modes(), 2u);
+  EXPECT_EQ(sys.dim(), 21u);
+
+  // The mode-i equilibrium must lie strictly inside region R_i (the
+  // setting required by the paper's robustness analysis).
+  for (std::size_t i = 0; i < 2; ++i) {
+    Vector w_eq = sys.mode(i).equilibrium(r);
+    EXPECT_TRUE(sys.mode(i).contains(w_eq)) << "mode " << i;
+    EXPECT_EQ(sys.mode_of(w_eq), i);
+    // And not on the boundary: guard value bounded away from zero.
+    for (const auto& hs : sys.mode(i).region)
+      EXPECT_GT(std::abs(hs.evaluate(w_eq)), 0.5) << "mode " << i;
+  }
+}
+
+TEST(Engine, RegionsPartitionTheStateSpace) {
+  StateSpace plant = make_engine_model();
+  SwitchedPiController ctrl = make_engine_controller();
+  Vector r = make_engine_references(plant);
+  PwaSystem sys = close_loop(plant, ctrl, r);
+  // R0: y0 > r0 - theta (strict); R1: y0 <= r0 - theta.  Every w belongs to
+  // exactly one region.
+  Vector w(21, 0.0);
+  // With x = 0, y0 = 0 <= r0 - 1 (r0 > 1 by construction) -> mode 1.
+  EXPECT_EQ(sys.mode_of(w), 1u);
+  // Push the N1 sensor state so y0 is huge -> mode 0.
+  w[12] = r[0] + 100.0;
+  EXPECT_EQ(sys.mode_of(w), 0u);
+  // Exactly on the surface y0 = r0 - theta -> mode 1 (non-strict side).
+  w[12] = r[0] - kEngineTheta;
+  EXPECT_EQ(sys.mode_of(w), 1u);
+}
+
+TEST(Engine, GuardsRejectWrongDimensions) {
+  StateSpace plant = make_engine_model();
+  SwitchedPiController ctrl = make_engine_controller();
+  EXPECT_THROW(close_loop(plant, ctrl, Vector{1.0}), std::invalid_argument);
+  SwitchedPiController bad = ctrl;
+  bad.regions[0][0].g = Vector{1.0};  // wrong dimension
+  Vector r = make_engine_references(plant);
+  EXPECT_THROW(close_loop(plant, bad, r), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spiv::model

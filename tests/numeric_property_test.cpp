@@ -1,0 +1,154 @@
+// Parameterized property sweeps for the numeric layer, including edge
+// cases (defective matrices, clustered eigenvalues, near-singular inputs).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "numeric/eigen.hpp"
+#include "numeric/lyapunov.hpp"
+#include "numeric/matrix.hpp"
+#include "numeric/svd.hpp"
+
+namespace spiv::numeric {
+namespace {
+
+Matrix random_matrix(std::mt19937_64& rng, std::size_t n, std::size_t m) {
+  std::normal_distribution<double> d;
+  Matrix out{n, m};
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < m; ++j) out(i, j) = d(rng);
+  return out;
+}
+
+class NumericProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(NumericProperty, SchurHandlesDefectiveMatrices) {
+  // Jordan blocks (defective) and clustered spectra must still decompose.
+  for (std::size_t n : {2u, 4u, 8u}) {
+    Matrix jordan{n, n};
+    for (std::size_t i = 0; i < n; ++i) {
+      jordan(i, i) = -1.0;
+      if (i + 1 < n) jordan(i, i + 1) = 1.0;
+    }
+    auto s = complex_schur(jordan);
+    EXPECT_TRUE(s.converged);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(s.t(i, i).real(), -1.0, 1e-7) << "n=" << n;
+    // Residual still tiny.
+    CMatrix au = CMatrix::from_real(jordan) * s.u;
+    CMatrix ut = s.u * s.t;
+    EXPECT_LT((au - ut).frobenius_norm(), 1e-10);
+  }
+}
+
+TEST_P(NumericProperty, SchurOfSimilarMatricesSharesSpectrum) {
+  std::mt19937_64 rng{GetParam()};
+  const std::size_t n = 6;
+  Matrix a = random_matrix(rng, n, n);
+  // Orthogonal similarity (perfectly conditioned) from a QR factor.
+  Matrix t = qr_decompose(random_matrix(rng, n, n)).q;
+  Matrix b = t.transposed() * a * t;
+  auto ea = eigenvalues(a);
+  auto eb = eigenvalues(b);
+  // Greedy nearest matching (robust to ordering differences).
+  for (const Complex& x : ea) {
+    double best = 1e300;
+    std::size_t best_j = 0;
+    for (std::size_t j = 0; j < eb.size(); ++j) {
+      const double d = std::abs(x - eb[j]);
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    EXPECT_LT(best, 1e-6 * (1.0 + std::abs(x)));
+    eb.erase(eb.begin() + static_cast<std::ptrdiff_t>(best_j));
+  }
+}
+
+TEST_P(NumericProperty, LyapunovSolutionIsMonotoneInQ) {
+  // Q1 <= Q2 (PSD order) implies P1 <= P2 for the same stable A.
+  std::mt19937_64 rng{GetParam() + 1};
+  const std::size_t n = 5;
+  Matrix a = random_matrix(rng, n, n);
+  const double shift = spectral_abscissa(a) + 1.0;
+  for (std::size_t i = 0; i < n; ++i) a(i, i) -= shift;
+  Matrix q1 = Matrix::identity(n);
+  Matrix r = random_matrix(rng, n, n);
+  Matrix q2 = q1 + r.transposed() * r;  // q2 - q1 PSD
+  auto p1 = solve_lyapunov(a, q1);
+  auto p2 = solve_lyapunov(a, q2);
+  ASSERT_TRUE(p1 && p2);
+  auto eig = symmetric_eigen(*p2 - *p1);
+  EXPECT_GE(eig.values.front(), -1e-9);
+}
+
+TEST_P(NumericProperty, SvdOfOrthogonalMatrixIsAllOnes) {
+  std::mt19937_64 rng{GetParam() + 2};
+  Matrix a = random_matrix(rng, 7, 7);
+  Qr f = qr_decompose(a);
+  Svd s = svd_decompose(f.q);
+  for (double sv : s.singular_values) EXPECT_NEAR(sv, 1.0, 1e-10);
+}
+
+TEST_P(NumericProperty, EigenvalueProductMatchesDeterminant) {
+  std::mt19937_64 rng{GetParam() + 3};
+  for (std::size_t n : {3u, 6u, 10u}) {
+    Matrix a = random_matrix(rng, n, n);
+    Complex prod{1.0, 0.0};
+    for (auto l : eigenvalues(a)) prod *= l;
+    EXPECT_NEAR(prod.real(), a.determinant(),
+                1e-6 * (1.0 + std::abs(a.determinant())));
+    EXPECT_NEAR(prod.imag(), 0.0, 1e-6 * (1.0 + std::abs(a.determinant())));
+  }
+}
+
+TEST_P(NumericProperty, CholeskySolvesAgreeWithLu) {
+  std::mt19937_64 rng{GetParam() + 4};
+  const std::size_t n = 6;
+  Matrix r = random_matrix(rng, n, n);
+  Matrix spd = r.transposed() * r + Matrix::identity(n);
+  auto l = spd.cholesky();
+  ASSERT_TRUE(l.has_value());
+  Vector b(n, 1.0);
+  auto x_lu = spd.solve(b);
+  ASSERT_TRUE(x_lu.has_value());
+  // Forward/back substitution with L.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= (*l)(i, k) * y[k];
+    y[i] = acc / (*l)(i, i);
+  }
+  Vector x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= (*l)(k, i) * x[k];
+    x[i] = acc / (*l)(i, i);
+  }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], (*x_lu)[i], 1e-9);
+}
+
+TEST_P(NumericProperty, ModalLyapunovMatrixSolvesLyapunovEquation) {
+  // Paper §III-E(b): P = M^{-1 dagger} M^{-1} solves eq. (7) with
+  // Q = -M^{-1 dagger}(D + conj(D)) M^{-1}, which is PD for Hurwitz A.
+  std::mt19937_64 rng{GetParam() + 5};
+  const std::size_t n = 5;
+  Matrix a = random_matrix(rng, n, n);
+  const double shift = spectral_abscissa(a) + 0.7;
+  for (std::size_t i = 0; i < n; ++i) a(i, i) -= shift;
+  auto eig = eigen_decompose(a);
+  auto m_inv = eig.modal.inverse();
+  ASSERT_TRUE(m_inv.has_value());
+  Matrix p = (m_inv->adjoint() * *m_inv).real_part().symmetrized();
+  // A^T P + P A must be negative definite.
+  Matrix lie = a.transposed() * p + p * a;
+  EXPECT_LT(symmetric_eigen(lie).values.back(), 0.0);
+  EXPECT_TRUE(p.cholesky().has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NumericProperty,
+                         ::testing::Values(401u, 402u, 403u));
+
+}  // namespace
+}  // namespace spiv::numeric

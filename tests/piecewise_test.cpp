@@ -1,0 +1,94 @@
+// Tests for the piecewise-quadratic switched synthesis (paper §VI-B2).
+// The paper's finding: the LMI solver always produces a candidate, and the
+// exact validation of the switching-surface condition always fails.
+#include "lyapunov/piecewise.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/engine.hpp"
+#include "model/reduction.hpp"
+
+namespace spiv::lyap {
+namespace {
+
+using numeric::Vector;
+
+/// References giving the switched system a single global attractor: r0 is
+/// chosen so the mode-1 equilibrium falls *outside* region R1 (mode 1 is
+/// then transient), the setting presupposed by §III-F.
+Vector single_equilibrium_references(const model::StateSpace& plant) {
+  Vector r{0.0, 1.0, 0.5, 1.0};
+  auto mode1 =
+      model::close_loop_single_mode(plant, model::engine_gains_mode1());
+  Vector w_eq = mode1.equilibrium(r);
+  double y0 = 0.0;
+  for (std::size_t j = 0; j < plant.num_states(); ++j)
+    y0 += plant.c(0, j) * w_eq[j];
+  r[0] = y0;  // r0 - y0 = 0 < Theta: mode-1 equilibrium sits in R0
+  return r;
+}
+
+class PiecewiseOnReducedModel
+    : public ::testing::TestWithParam<SurfaceEncoding> {};
+
+TEST_P(PiecewiseOnReducedModel, CandidateFoundButSurfaceValidationFails) {
+  // Size-3 reduced model: small enough for the LMI and the exact checks.
+  model::StateSpace engine = model::make_engine_model();
+  model::StateSpace plant = model::balanced_truncation(engine, 3).sys;
+  model::SwitchedPiController ctrl = model::make_engine_controller();
+  Vector r = single_equilibrium_references(plant);
+  model::PwaSystem sys = model::close_loop(plant, ctrl, r);
+
+  PiecewiseOptions options;
+  auto candidate = synthesize_piecewise(sys, r, GetParam(), options);
+  // The paper: "the LMI solver always finds a candidate".
+  ASSERT_TRUE(candidate.has_value());
+  EXPECT_GT(candidate->synth_seconds, 0.0);
+
+  auto validation = validate_piecewise(sys, r, *candidate, GetParam());
+  // The paper: "the subsequent validation using an SMT solver always
+  // fails", specifically on the switching-surface condition.
+  EXPECT_FALSE(validation.surface);
+  EXPECT_FALSE(validation.all_valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEncodings, PiecewiseOnReducedModel,
+                         ::testing::Values(SurfaceEncoding::Equality,
+                                           SurfaceEncoding::Relaxed),
+                         [](const auto& info) {
+                           return info.param == SurfaceEncoding::Equality
+                                      ? "Equality"
+                                      : "Relaxed";
+                         });
+
+TEST(Piecewise, RejectsSystemsWithMoreGuards) {
+  model::StateSpace engine = model::make_engine_model();
+  model::StateSpace plant = model::balanced_truncation(engine, 3).sys;
+  model::SwitchedPiController ctrl = model::make_engine_controller();
+  // Add a second guard to mode 0.
+  ctrl.regions[0].push_back(ctrl.regions[0][0]);
+  Vector r = single_equilibrium_references(plant);
+  model::PwaSystem sys = model::close_loop(plant, ctrl, r);
+  EXPECT_THROW(synthesize_piecewise(sys, r, SurfaceEncoding::Equality),
+               std::invalid_argument);
+}
+
+TEST(Piecewise, Mode0PiecePositivityHoldsExactly) {
+  // Even though the surface condition fails, the per-piece conditions for
+  // the equilibrium mode (plain quadratic form) typically validate.
+  model::StateSpace engine = model::make_engine_model();
+  model::StateSpace plant = model::balanced_truncation(engine, 3).sys;
+  model::SwitchedPiController ctrl = model::make_engine_controller();
+  Vector r = single_equilibrium_references(plant);
+  model::PwaSystem sys = model::close_loop(plant, ctrl, r);
+  auto candidate =
+      synthesize_piecewise(sys, r, SurfaceEncoding::Equality, PiecewiseOptions{});
+  ASSERT_TRUE(candidate.has_value());
+  auto validation =
+      validate_piecewise(sys, r, *candidate, SurfaceEncoding::Equality);
+  EXPECT_TRUE(validation.positivity0);
+  EXPECT_TRUE(validation.decrease0);
+}
+
+}  // namespace
+}  // namespace spiv::lyap

@@ -1,0 +1,69 @@
+// Round-trip tests for the plain-text model format.
+#include "model/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace spiv::model {
+namespace {
+
+TEST(Serialize, StateSpaceRoundTrip) {
+  StateSpace sys = make_engine_model();
+  std::stringstream ss;
+  write_state_space(ss, sys);
+  StateSpace back = read_state_space(ss);
+  EXPECT_EQ(back.a.data(), sys.a.data());  // bit-exact (17 digits)
+  EXPECT_EQ(back.b.data(), sys.b.data());
+  EXPECT_EQ(back.c.data(), sys.c.data());
+}
+
+TEST(Serialize, FullCaseRoundTripEveryFamilyMember) {
+  for (const auto& bm : make_benchmark_family()) {
+    BenchmarkModel back = case_from_string(case_to_string(bm));
+    EXPECT_EQ(back.name, bm.name);
+    EXPECT_EQ(back.size, bm.size);
+    EXPECT_EQ(back.integer_rounded, bm.integer_rounded);
+    EXPECT_EQ(back.plant.a.data(), bm.plant.a.data());
+    EXPECT_EQ(back.plant.b.data(), bm.plant.b.data());
+    EXPECT_EQ(back.plant.c.data(), bm.plant.c.data());
+    ASSERT_EQ(back.controller.num_modes(), bm.controller.num_modes());
+    for (std::size_t i = 0; i < bm.controller.num_modes(); ++i) {
+      EXPECT_EQ(back.controller.gains[i].kp.data(),
+                bm.controller.gains[i].kp.data());
+      EXPECT_EQ(back.controller.gains[i].ki.data(),
+                bm.controller.gains[i].ki.data());
+      ASSERT_EQ(back.controller.regions[i].size(),
+                bm.controller.regions[i].size());
+      for (std::size_t g = 0; g < bm.controller.regions[i].size(); ++g) {
+        EXPECT_EQ(back.controller.regions[i][g].g,
+                  bm.controller.regions[i][g].g);
+        EXPECT_EQ(back.controller.regions[i][g].h,
+                  bm.controller.regions[i][g].h);
+        EXPECT_EQ(back.controller.regions[i][g].strict,
+                  bm.controller.regions[i][g].strict);
+      }
+    }
+    EXPECT_EQ(back.references, bm.references);
+    // The round-tripped case yields an identical closed loop.
+    PwaSystem a = close_loop(bm.plant, bm.controller, bm.references);
+    PwaSystem b = close_loop(back.plant, back.controller, back.references);
+    EXPECT_EQ(a.mode(0).a.data(), b.mode(0).a.data());
+    EXPECT_EQ(a.mode(1).b.data(), b.mode(1).b.data());
+  }
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  std::istringstream bad1{"not-a-case v1"};
+  EXPECT_THROW(read_case(bad1), std::runtime_error);
+  std::istringstream bad2{"spiv-case v2 name x size 1 integer 0"};
+  EXPECT_THROW(read_case(bad2), std::runtime_error);
+  std::istringstream truncated{
+      "spiv-case v1\nname t size 2 integer 0\nplant 2 1 1\nA\n1 2\n"};
+  EXPECT_THROW(read_case(truncated), std::runtime_error);
+  std::istringstream bad_header{"plant 2 x 1\n"};
+  EXPECT_THROW(read_state_space(bad_header), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace spiv::model

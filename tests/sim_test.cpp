@@ -1,0 +1,152 @@
+// Tests for the switched-system simulator, including the semantic link to
+// the robust regions: trajectories inside W_i never switch mode.
+#include "sim/integrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "lyapunov/synthesis.hpp"
+#include "model/engine.hpp"
+#include "model/reduction.hpp"
+#include "robust/region.hpp"
+
+namespace spiv::sim {
+namespace {
+
+using numeric::Matrix;
+using numeric::Vector;
+
+TEST(Simulate, ExponentialDecayMatchesClosedForm) {
+  // Single mode, no switching: wdot = -w, w(0) = 1 -> w(t) = e^-t.
+  model::PwaMode mode;
+  mode.a = Matrix{{-1}};
+  mode.b = Matrix{1, 1};
+  mode.region.push_back(model::HalfSpace{Vector{0.0}, 1.0, false});  // all
+  model::PwaSystem sys{{mode}, 1, 0, 1};
+  SimOptions options;
+  options.t_end = 3.0;
+  Trajectory traj = simulate(sys, Vector{0.0}, Vector{1.0}, options);
+  EXPECT_FALSE(traj.step_failed);
+  EXPECT_TRUE(traj.switches.empty());
+  for (const auto& pt : traj.points)
+    EXPECT_NEAR(pt.w[0], std::exp(-pt.t), 1e-6) << "t=" << pt.t;
+}
+
+TEST(Simulate, AffineModeConvergesToEquilibrium) {
+  // wdot = -2w + 4: equilibrium at 2.
+  model::PwaMode mode;
+  mode.a = Matrix{{-2}};
+  mode.b = Matrix{{4.0}};
+  mode.region.push_back(model::HalfSpace{Vector{0.0}, 1.0, false});
+  model::PwaSystem sys{{mode}, 1, 0, 1};
+  SimOptions options;
+  options.t_end = 20.0;
+  options.convergence_radius = 1e-6;
+  Trajectory traj = simulate(sys, Vector{1.0}, Vector{-5.0}, options);
+  EXPECT_TRUE(traj.converged);
+  EXPECT_NEAR(traj.back().w[0], 2.0, 1e-5);
+}
+
+TEST(Simulate, EngineClosedLoopReachesReferenceOutputs) {
+  model::StateSpace plant =
+      model::balanced_truncation(model::make_engine_model(), 5).sys;
+  model::SwitchedPiController ctrl = model::make_engine_controller();
+  Vector r = model::make_engine_references(plant);
+  model::PwaSystem sys = model::close_loop(plant, ctrl, r);
+  // Start at rest (all states zero) and run until settled.
+  SimOptions options;
+  options.t_end = 60.0;
+  options.convergence_radius = 1e-7;
+  Trajectory traj = simulate(sys, r, Vector(sys.dim(), 0.0), options);
+  EXPECT_FALSE(traj.step_failed);
+  // The final mode's equilibrium should be (approximately) reached.
+  const std::size_t mode = traj.back().mode;
+  Vector w_eq = sys.mode(mode).equilibrium(r);
+  double err = 0.0;
+  for (std::size_t i = 0; i < sys.dim(); ++i)
+    err = std::max(err, std::abs(traj.back().w[i] - w_eq[i]));
+  EXPECT_LT(err, 1e-3);
+}
+
+TEST(Simulate, TrajectoriesInsideRobustRegionNeverSwitch) {
+  // The semantic guarantee of paper §VI-C1: starting inside
+  // W_i = {V <= k} ∩ R_i, the trajectory converges without switching.
+  model::StateSpace plant =
+      model::balanced_truncation(model::make_engine_model(), 3).sys;
+  model::SwitchedPiController ctrl = model::make_engine_controller();
+  Vector r = model::make_engine_references(plant);
+  model::PwaSystem sys = model::close_loop(plant, ctrl, r);
+  auto cand = lyap::synthesize(sys.mode(0).a, lyap::Method::Lmi);
+  ASSERT_TRUE(cand.has_value());
+  robust::RobustRegion region = robust::synthesize_region(sys, 0, cand->p, r);
+  ASSERT_TRUE(region.certified);
+  ASSERT_FALSE(region.flow_constant_on_surface);
+
+  const Vector w_eq = sys.mode(0).equilibrium(r);
+  // Sample directions on the V = 0.9k shell.
+  auto eig = numeric::symmetric_eigen(cand->p.symmetrized());
+  std::mt19937_64 rng{17};
+  std::normal_distribution<double> gauss;
+  int launched = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    Vector dir(sys.dim());
+    for (auto& v : dir) v = gauss(rng);
+    const double v_dir = cand->p.quad_form(dir);
+    const double scale = std::sqrt(0.9 * region.k / v_dir);
+    Vector w0(sys.dim());
+    for (std::size_t i = 0; i < sys.dim(); ++i)
+      w0[i] = w_eq[i] + scale * dir[i];
+    if (!sys.mode(0).contains(w0)) continue;  // W is the *truncated* set
+    ++launched;
+    SimOptions options;
+    options.t_end = 250.0;  // mode-0 abscissa ~ -0.12: slow final decay
+    options.convergence_radius = 1e-5;
+    Trajectory traj = simulate(sys, r, w0, options);
+    EXPECT_TRUE(traj.switches.empty()) << "trial " << trial;
+    EXPECT_TRUE(traj.converged) << "trial " << trial;
+    // V must be (weakly) decreasing along the trajectory.
+    double prev = cand->p.quad_form(dir) * scale * scale;
+    for (const auto& pt : traj.points) {
+      Vector x(sys.dim());
+      for (std::size_t i = 0; i < sys.dim(); ++i) x[i] = pt.w[i] - w_eq[i];
+      const double v = cand->p.quad_form(x);
+      EXPECT_LT(v, prev * 1.01 + 1e-12);
+      prev = v;
+    }
+  }
+  EXPECT_GT(launched, 3);
+}
+
+TEST(Simulate, SwitchingOccursWhenStartingDeepInMode1) {
+  // Start far below the LPC-speed limit with references demanding mode-0
+  // operation: the trajectory must pass through mode 1 and/or switch.
+  model::StateSpace plant =
+      model::balanced_truncation(model::make_engine_model(), 3).sys;
+  model::SwitchedPiController ctrl = model::make_engine_controller();
+  Vector r = model::make_engine_references(plant);
+  model::PwaSystem sys = model::close_loop(plant, ctrl, r);
+  Vector w0(sys.dim(), 0.0);
+  ASSERT_EQ(sys.mode_of(w0), 1u);  // y0 = 0 << r0 - Theta
+  SimOptions options;
+  options.t_end = 60.0;
+  Trajectory traj = simulate(sys, r, w0, options);
+  EXPECT_FALSE(traj.step_failed);
+  // The mode-1 equilibrium lies inside R1 for these references, so the
+  // trajectory settles in mode 1 (no switching back and forth at the end).
+  EXPECT_EQ(traj.back().mode, 1u);
+}
+
+TEST(Simulate, RejectsWrongDimension) {
+  model::PwaMode mode;
+  mode.a = Matrix{{-1}};
+  mode.b = Matrix{1, 1};
+  mode.region.push_back(model::HalfSpace{Vector{0.0}, 1.0, false});
+  model::PwaSystem sys{{mode}, 1, 0, 1};
+  EXPECT_THROW(simulate(sys, Vector{0.0}, Vector{1.0, 2.0}, SimOptions{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spiv::sim

@@ -1,0 +1,117 @@
+// Tests for the six Lyapunov synthesis methods (paper §VI-B1).
+#include "lyapunov/synthesis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exact/lyapunov_exact.hpp"
+#include "model/engine.hpp"
+#include "model/reduction.hpp"
+#include "numeric/eigen.hpp"
+#include "smt/validate.hpp"
+
+namespace spiv::lyap {
+namespace {
+
+using numeric::Matrix;
+using numeric::Vector;
+
+const std::vector<Method> kAllMethods = {Method::EqSmt,    Method::EqNum,
+                                         Method::Modal,    Method::Lmi,
+                                         Method::LmiAlpha, Method::LmiAlphaPlus};
+
+TEST(Synthesis, AllMethodsProduceValidCandidatesOnSmallSystem) {
+  Matrix a{{-2, 1, 0}, {0, -3, 1}, {-1, 0, -4}};
+  for (Method m : kAllMethods) {
+    SynthesisOptions options;
+    options.alpha = 1.0;
+    auto c = synthesize(a, m, options);
+    ASSERT_TRUE(c.has_value()) << to_string(m);
+    EXPECT_EQ(c->method, m);
+    EXPECT_GE(c->synth_seconds, 0.0);
+    auto v = smt::validate_lyapunov(a, c->p, smt::Engine::Sylvester, 10);
+    EXPECT_TRUE(v.valid()) << to_string(m);
+    EXPECT_EQ(c->exact_p.has_value(), m == Method::EqSmt);
+  }
+}
+
+TEST(Synthesis, EqSmtSolutionIsExact) {
+  Matrix a{{-1, 0}, {0, -2}};
+  auto c = synthesize(a, Method::EqSmt);
+  ASSERT_TRUE(c.has_value());
+  ASSERT_TRUE(c->exact_p.has_value());
+  // A^T P + P A + I = 0 exactly.
+  auto a_exact = exact::rat_matrix_from_doubles(a.data().data(), 2, 2, 0);
+  auto residual = exact::lyapunov_residual(a_exact, *c->exact_p,
+                                           exact::RatMatrix::identity(2));
+  EXPECT_EQ(residual, exact::RatMatrix(2, 2));
+}
+
+TEST(Synthesis, EqSmtHonorsDeadline) {
+  // An 18-state closed-loop-sized exact solve under an expired deadline.
+  model::StateSpace engine = model::make_engine_model();
+  auto mode = model::close_loop_single_mode(engine, model::engine_gains_mode0());
+  SynthesisOptions options;
+  options.deadline = Deadline::after_seconds(-1.0);
+  EXPECT_THROW(synthesize(mode.a, Method::EqSmt, options), TimeoutError);
+}
+
+TEST(Synthesis, MethodsFailGracefullyOnUnstableSystems) {
+  Matrix a{{1, 0}, {0, -1}};  // eigenvalues {1, -1}: Lyapunov op singular
+  EXPECT_FALSE(synthesize(a, Method::EqSmt).has_value());
+  EXPECT_FALSE(synthesize(a, Method::EqNum).has_value());
+  // LMI methods must not return a feasible candidate.
+  for (Method m : {Method::Lmi, Method::LmiAlpha}) {
+    SynthesisOptions options;
+    options.alpha = 0.1;
+    auto c = synthesize(a, m, options);
+    if (c.has_value()) {
+      auto v = smt::validate_lyapunov(a, c->p, smt::Engine::Sylvester, 10);
+      EXPECT_FALSE(v.valid()) << to_string(m);
+    }
+  }
+}
+
+TEST(Synthesis, LmiAlphaCandidateHasDecayRate) {
+  Matrix a{{-3, 1}, {0, -2}};
+  SynthesisOptions options;
+  options.alpha = 1.0;
+  auto c = synthesize(a, Method::LmiAlpha, options);
+  ASSERT_TRUE(c.has_value());
+  Matrix m = a.transposed() * c->p + c->p * a + options.alpha * c->p;
+  EXPECT_LT(numeric::symmetric_eigen(m).values.back(), 0.0);
+}
+
+TEST(Synthesis, LmiAlphaPlusRespectsEigenvalueFloor) {
+  Matrix a{{-3, 1}, {0, -2}};
+  SynthesisOptions options;
+  options.alpha = 0.5;
+  options.nu = 0.01;
+  auto c = synthesize(a, Method::LmiAlphaPlus, options);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_GT(numeric::symmetric_eigen(c->p).values.front(), options.nu);
+}
+
+TEST(Synthesis, AllNumericMethodsHandleEngineClosedLoopMode) {
+  // Full 21-dimensional closed-loop mode of the engine case study.
+  model::StateSpace engine = model::make_engine_model();
+  auto mode = model::close_loop_single_mode(engine, model::engine_gains_mode0());
+  for (Method m : {Method::EqNum, Method::Modal, Method::Lmi}) {
+    auto c = synthesize(mode.a, m);
+    ASSERT_TRUE(c.has_value()) << to_string(m);
+    // Candidate is numerically PD with negative Lie derivative.
+    EXPECT_TRUE(c->p.cholesky().has_value()) << to_string(m);
+    Matrix lie = mode.a.transposed() * c->p + c->p * mode.a;
+    EXPECT_LT(numeric::symmetric_eigen(lie).values.back(), 0.0) << to_string(m);
+  }
+}
+
+TEST(Synthesis, MethodNamesRoundTrip) {
+  EXPECT_EQ(to_string(Method::EqSmt), "eq-smt");
+  EXPECT_EQ(to_string(Method::LmiAlphaPlus), "LMIa+");
+  EXPECT_TRUE(is_lmi_method(Method::Lmi));
+  EXPECT_TRUE(is_lmi_method(Method::LmiAlphaPlus));
+  EXPECT_FALSE(is_lmi_method(Method::Modal));
+}
+
+}  // namespace
+}  // namespace spiv::lyap

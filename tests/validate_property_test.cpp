@@ -1,0 +1,126 @@
+// Property tests for the exact validation engines: constructed-PD and
+// constructed-indefinite sweeps where ground truth is known by design.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "smt/validate.hpp"
+
+namespace spiv::smt {
+namespace {
+
+using exact::RatMatrix;
+using exact::Rational;
+
+struct Case {
+  Engine engine;
+  bool det;
+  unsigned seed;
+};
+
+class EngineProperty
+    : public ::testing::TestWithParam<std::tuple<Engine, bool, unsigned>> {};
+
+RatMatrix random_rational(std::mt19937_64& rng, std::size_t n,
+                          std::int64_t span = 6) {
+  std::uniform_int_distribution<std::int64_t> num{-span, span};
+  std::uniform_int_distribution<std::int64_t> den{1, 4};
+  RatMatrix m{n, n};
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = Rational{num(rng), den(rng)};
+  return m;
+}
+
+TEST_P(EngineProperty, GramMatricesOfFullRankFactorsArePd) {
+  auto [engine, det, seed] = GetParam();
+  CheckOptions options;
+  options.det_encoding = det;
+  std::mt19937_64 rng{seed};
+  for (int iter = 0; iter < 8; ++iter) {
+    const std::size_t n = 2 + iter % 5;
+    // L unit lower triangular with random entries => L L^T is PD.
+    RatMatrix l = RatMatrix::identity(n);
+    std::uniform_int_distribution<std::int64_t> num{-3, 3};
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < i; ++j) l(i, j) = Rational{num(rng), 2};
+    RatMatrix m = l * l.transposed();
+    EXPECT_EQ(check_positive_definite(m, engine, options).outcome,
+              Outcome::Valid)
+        << to_string(engine) << " det=" << det << " iter " << iter;
+  }
+}
+
+TEST_P(EngineProperty, MatricesWithNegativeDiagonalEntryAreRejected) {
+  auto [engine, det, seed] = GetParam();
+  CheckOptions options;
+  options.det_encoding = det;
+  std::mt19937_64 rng{seed + 1};
+  for (int iter = 0; iter < 8; ++iter) {
+    const std::size_t n = 2 + iter % 5;
+    RatMatrix m = (random_rational(rng, n) *
+                   random_rational(rng, n).transposed())
+                      .symmetrized();
+    // Force indefiniteness: one strongly negative diagonal entry.
+    m(n - 1, n - 1) = Rational{-1000};
+    EXPECT_EQ(check_positive_definite(m, engine, options).outcome,
+              Outcome::Invalid)
+        << to_string(engine) << " det=" << det << " iter " << iter;
+  }
+}
+
+TEST_P(EngineProperty, RankDeficientGramMatricesAreNotStrictlyPd) {
+  auto [engine, det, seed] = GetParam();
+  CheckOptions options;
+  options.det_encoding = det;
+  std::mt19937_64 rng{seed + 2};
+  for (int iter = 0; iter < 6; ++iter) {
+    const std::size_t n = 3 + iter % 3;
+    // Rank n-1 Gram matrix: B (n x n-1) random, M = B B^T is PSD singular.
+    std::uniform_int_distribution<std::int64_t> num{-4, 4};
+    RatMatrix b{n, n - 1};
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j + 1 < n; ++j) b(i, j) = Rational{num(rng)};
+    RatMatrix m = (b * b.transposed()).symmetrized();
+    EXPECT_EQ(check_positive_definite(m, engine, options).outcome,
+              Outcome::Invalid)
+        << to_string(engine) << " det=" << det << " iter " << iter;
+  }
+}
+
+TEST_P(EngineProperty, ScalingInvariance) {
+  // PD-ness is invariant under positive scaling of the matrix.
+  auto [engine, det, seed] = GetParam();
+  CheckOptions options;
+  options.det_encoding = det;
+  std::mt19937_64 rng{seed + 3};
+  RatMatrix l = RatMatrix::identity(4);
+  std::uniform_int_distribution<std::int64_t> num{-3, 3};
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < i; ++j) l(i, j) = Rational{num(rng), 3};
+  RatMatrix m = l * l.transposed();
+  for (auto scale : {Rational{1, 1000000}, Rational{1}, Rational{1000000}}) {
+    RatMatrix scaled = m;
+    scaled *= scale;
+    EXPECT_EQ(check_positive_definite(scaled, engine, options).outcome,
+              Outcome::Valid)
+        << to_string(engine) << " scale " << scale.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineProperty,
+    ::testing::Combine(::testing::Values(Engine::Sylvester, Engine::SympyGauss,
+                                         Engine::Ldlt, Engine::SmtZ3Style,
+                                         Engine::SmtCvc5Style),
+                       ::testing::Bool(), ::testing::Values(11u, 22u)),
+    [](const auto& info) {
+      std::string s = to_string(std::get<0>(info.param)) +
+                      (std::get<1>(info.param) ? "_det" : "") + "_s" +
+                      std::to_string(std::get<2>(info.param));
+      for (auto& ch : s)
+        if (ch == '-' || ch == '+') ch = '_';
+      return s;
+    });
+
+}  // namespace
+}  // namespace spiv::smt
