@@ -7,6 +7,10 @@
 //   SPIV_SYNTH_TIMEOUT=120  — per-job synthesis budget (seconds)
 //   SPIV_VALIDATE_TIMEOUT=60— per-job validation budget (seconds)
 //   SPIV_VERBOSE=1          — progress on stderr
+//   SPIV_JOBS=4             — worker threads for the experiment job pool
+//                             (default: hardware_concurrency; 1 = serial;
+//                             every non-timing output is identical for any
+//                             value, see core/parallel.hpp)
 #pragma once
 
 #include <cstdlib>

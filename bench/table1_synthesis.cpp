@@ -6,18 +6,33 @@
 // short-step backend is one to two orders of magnitude slower than the
 // other two, and the aggressive backend may produce occasional invalid
 // candidates on the hardest (LMIa+, largest-size) instances.
+//
+// Besides the human-readable table and table1.csv, the harness records its
+// own wall-clock and worker count in BENCH_table1.json so the parallel
+// speedup (SPIV_JOBS=N vs 1) can be tracked by machines.
+#include <chrono>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "core/format.hpp"
+#include "core/parallel.hpp"
 
 int main() {
   using namespace spiv;
   core::ExperimentConfig config = bench::make_config(
       /*synth_timeout=*/75.0, /*validate_timeout=*/60.0);
+  const std::size_t jobs = core::resolve_jobs(config.jobs);
+  const auto t0 = std::chrono::steady_clock::now();
   core::Table1Result result = core::run_table1(config);
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
   std::cout << core::format_table1(result);
   core::write_file("table1.csv", core::table1_csv(result));
-  std::cout << "(CSV written to table1.csv)\n";
+  core::write_file("BENCH_table1.json",
+                   core::table1_bench_json(result, wall, jobs));
+  std::cout << "(CSV written to table1.csv; harness wall-clock " << wall
+            << " s with " << jobs
+            << " worker(s) recorded in BENCH_table1.json)\n";
   return 0;
 }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <sstream>
 
+#include "core/parallel.hpp"
 #include "model/switched_pi.hpp"
 
 namespace spiv::core {
@@ -48,7 +50,7 @@ struct ModeCase {
 
 std::vector<ModeCase> make_cases(const ExperimentConfig& config) {
   std::vector<ModeCase> cases;
-  for (const auto& bm : model::make_benchmark_family()) {
+  for (const auto& bm : model::benchmark_family()) {
     if (std::find(config.sizes.begin(), config.sizes.end(), bm.size) ==
         config.sizes.end())
       continue;
@@ -64,6 +66,11 @@ std::vector<ModeCase> make_cases(const ExperimentConfig& config) {
   return cases;
 }
 
+/// Single-write progress line (worker threads share stderr).
+void progress(const ExperimentConfig& config, const std::string& line) {
+  if (config.verbose) std::cerr << line;
+}
+
 }  // namespace
 
 Table1Result run_table1(const ExperimentConfig& config) {
@@ -71,47 +78,82 @@ Table1Result run_table1(const ExperimentConfig& config) {
   result.strategies = paper_strategies();
   result.cells.resize(result.strategies.size());
   const std::vector<ModeCase> cases = make_cases(config);
+  const std::size_t num_cases = cases.size();
 
+  // One job per (strategy, case); job i writes only slot i.
+  struct SynthOutcome {
+    bool timeout = false;
+    bool synthesized = false;
+    bool valid = false;
+    double synth_seconds = 0.0;
+    numeric::Matrix p;
+  };
+  std::vector<SynthOutcome> outcomes(result.strategies.size() * num_cases);
+
+  for_each_job(
+      outcomes.size(), config.jobs,
+      [&](std::size_t idx, const CancelToken& token) {
+        const Strategy& strategy = result.strategies[idx / num_cases];
+        const ModeCase& mc = cases[idx % num_cases];
+        SynthOutcome& out = outcomes[idx];
+        {
+          std::ostringstream line;
+          line << "[table1] " << strategy.name() << " " << mc.model_name
+               << " mode " << mc.mode << "\n";
+          progress(config, line.str());
+        }
+        lyap::SynthesisOptions options;
+        options.alpha = config.alpha;
+        options.nu = config.nu;
+        if (strategy.backend) options.backend = *strategy.backend;
+        options.deadline =
+            Deadline::after_seconds(config.synth_timeout_seconds, token);
+        std::optional<lyap::Candidate> candidate;
+        try {
+          candidate = lyap::synthesize(mc.a, strategy.method, options);
+        } catch (const TimeoutError&) {
+          out.timeout = true;
+          return;
+        }
+        if (!candidate) return;
+        out.synthesized = true;
+        out.synth_seconds = candidate->synth_seconds;
+
+        smt::CheckOptions check;
+        check.deadline =
+            Deadline::after_seconds(config.validate_timeout_seconds, token);
+        auto validation = smt::validate_lyapunov(
+            mc.a, candidate->p, smt::Engine::Sylvester, config.digits, check);
+        out.valid = validation.valid();
+        out.p = std::move(candidate->p);
+      });
+
+  // Merge in (strategy, case) order — the serial loop nest's order — so the
+  // aggregation and the candidate list are independent of scheduling.
   for (std::size_t s = 0; s < result.strategies.size(); ++s) {
-    const Strategy& strategy = result.strategies[s];
-    for (const ModeCase& mc : cases) {
-      if (config.verbose)
-        std::cerr << "[table1] " << strategy.name() << " " << mc.model_name
-                  << " mode " << mc.mode << "\n";
+    for (std::size_t c = 0; c < num_cases; ++c) {
+      const ModeCase& mc = cases[c];
       Table1Cell& cell = result.cells[s][mc.size];
       ++cell.cases;
-      lyap::SynthesisOptions options;
-      options.alpha = config.alpha;
-      options.nu = config.nu;
-      if (strategy.backend) options.backend = *strategy.backend;
-      options.deadline = Deadline::after_seconds(config.synth_timeout_seconds);
-      std::optional<lyap::Candidate> candidate;
-      try {
-        candidate = lyap::synthesize(mc.a, strategy.method, options);
-      } catch (const TimeoutError&) {
+      SynthOutcome& out = outcomes[s * num_cases + c];
+      if (out.timeout) {
         ++cell.timeouts;
         continue;
       }
-      if (!candidate) continue;
+      if (!out.synthesized) continue;
       ++cell.synthesized;
-      cell.total_synth_seconds += candidate->synth_seconds;
-
-      smt::CheckOptions check;
-      check.deadline =
-          Deadline::after_seconds(config.validate_timeout_seconds);
-      auto validation = smt::validate_lyapunov(
-          mc.a, candidate->p, smt::Engine::Sylvester, config.digits, check);
-      if (validation.valid()) ++cell.valid;
+      cell.total_synth_seconds += out.synth_seconds;
+      if (out.valid) ++cell.valid;
 
       CandidateRecord record;
       record.model_name = mc.model_name;
       record.size = mc.size;
       record.integer_model = mc.integer_model;
       record.mode = mc.mode;
-      record.strategy = strategy;
+      record.strategy = result.strategies[s];
       record.a = mc.a;
-      record.p = candidate->p;
-      record.synth_seconds = candidate->synth_seconds;
+      record.p = std::move(out.p);
+      record.synth_seconds = out.synth_seconds;
       result.candidates.push_back(std::move(record));
     }
   }
@@ -135,36 +177,45 @@ Figure3Result run_figure3(const std::vector<CandidateRecord>& candidates,
                           const ExperimentConfig& config) {
   Figure3Result result;
   result.engines = paper_engine_configs();
-  for (std::size_t e = 0; e < result.engines.size(); ++e) {
-    for (std::size_t c = 0; c < candidates.size(); ++c) {
-      if (config.verbose)
-        std::cerr << "[figure3] " << result.engines[e].name() << " candidate "
-                  << c << "/" << candidates.size() << "\n";
-      smt::CheckOptions check;
-      check.det_encoding = result.engines[e].det_encoding;
-      check.deadline =
-          Deadline::after_seconds(config.validate_timeout_seconds);
-      const auto t0 = std::chrono::steady_clock::now();
-      auto validation =
-          smt::validate_lyapunov(candidates[c].a, candidates[c].p,
-                                 result.engines[e].engine, config.digits,
-                                 check);
-      ValidationSample sample;
-      sample.candidate_index = c;
-      sample.engine_index = e;
-      sample.seconds = std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - t0)
-                           .count();
-      if (validation.positivity.outcome == smt::Outcome::Timeout ||
-          validation.decrease.outcome == smt::Outcome::Timeout)
-        sample.outcome = smt::Outcome::Timeout;
-      else if (validation.valid())
-        sample.outcome = smt::Outcome::Valid;
-      else
-        sample.outcome = smt::Outcome::Invalid;
-      result.samples.push_back(sample);
-    }
-  }
+  const std::size_t num_candidates = candidates.size();
+  // One job per (engine, candidate), filling the sample slot the serial
+  // engine-major loop nest would have pushed.
+  result.samples.resize(result.engines.size() * num_candidates);
+
+  for_each_job(
+      result.samples.size(), config.jobs,
+      [&](std::size_t idx, const CancelToken& token) {
+        const std::size_t e = idx / num_candidates;
+        const std::size_t c = idx % num_candidates;
+        {
+          std::ostringstream line;
+          line << "[figure3] " << result.engines[e].name() << " candidate "
+               << c << "/" << num_candidates << "\n";
+          progress(config, line.str());
+        }
+        smt::CheckOptions check;
+        check.det_encoding = result.engines[e].det_encoding;
+        check.deadline =
+            Deadline::after_seconds(config.validate_timeout_seconds, token);
+        const auto t0 = std::chrono::steady_clock::now();
+        auto validation =
+            smt::validate_lyapunov(candidates[c].a, candidates[c].p,
+                                   result.engines[e].engine, config.digits,
+                                   check);
+        ValidationSample& sample = result.samples[idx];
+        sample.candidate_index = c;
+        sample.engine_index = e;
+        sample.seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+        if (validation.positivity.outcome == smt::Outcome::Timeout ||
+            validation.decrease.outcome == smt::Outcome::Timeout)
+          sample.outcome = smt::Outcome::Timeout;
+        else if (validation.valid())
+          sample.outcome = smt::Outcome::Valid;
+        else
+          sample.outcome = smt::Outcome::Invalid;
+      });
   return result;
 }
 
@@ -173,22 +224,39 @@ RoundingResult run_rounding_study(
     const ExperimentConfig& config, const std::vector<int>& digit_levels) {
   RoundingResult result;
   result.digit_levels = digit_levels;
-  for (const CandidateRecord& record : candidates) {
-    auto& row = result.counts[record.strategy.name()];
-    if (row.empty()) row.resize(digit_levels.size());
-    for (std::size_t d = 0; d < digit_levels.size(); ++d) {
-      smt::CheckOptions check;
-      check.deadline =
-          Deadline::after_seconds(config.validate_timeout_seconds);
-      auto validation = smt::validate_lyapunov(
-          record.a, record.p, smt::Engine::Sylvester, digit_levels[d], check);
-      if (validation.positivity.outcome == smt::Outcome::Timeout ||
-          validation.decrease.outcome == smt::Outcome::Timeout)
-        ++row[d].timeout;
-      else if (validation.valid())
-        ++row[d].valid;
-      else
-        ++row[d].invalid;
+  const std::size_t num_levels = digit_levels.size();
+
+  // One job per (candidate, digit level); 0 = valid, 1 = invalid,
+  // 2 = timeout, merged into the per-strategy counts afterwards.
+  std::vector<int> outcomes(candidates.size() * num_levels, 0);
+  for_each_job(
+      outcomes.size(), config.jobs,
+      [&](std::size_t idx, const CancelToken& token) {
+        const CandidateRecord& record = candidates[idx / num_levels];
+        const int digits = digit_levels[idx % num_levels];
+        smt::CheckOptions check;
+        check.deadline =
+            Deadline::after_seconds(config.validate_timeout_seconds, token);
+        auto validation = smt::validate_lyapunov(
+            record.a, record.p, smt::Engine::Sylvester, digits, check);
+        if (validation.positivity.outcome == smt::Outcome::Timeout ||
+            validation.decrease.outcome == smt::Outcome::Timeout)
+          outcomes[idx] = 2;
+        else if (validation.valid())
+          outcomes[idx] = 0;
+        else
+          outcomes[idx] = 1;
+      });
+
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    auto& row = result.counts[candidates[c].strategy.name()];
+    if (row.empty()) row.resize(num_levels);
+    for (std::size_t d = 0; d < num_levels; ++d) {
+      switch (outcomes[c * num_levels + d]) {
+        case 0: ++row[d].valid; break;
+        case 1: ++row[d].invalid; break;
+        default: ++row[d].timeout; break;
+      }
     }
   }
   return result;
@@ -197,61 +265,81 @@ RoundingResult run_rounding_study(
 Table2Result run_table2(const ExperimentConfig& config,
                         const std::vector<std::size_t>& sizes) {
   Table2Result result;
-  for (const auto& bm : model::make_benchmark_family()) {
+  // Enumerate (model, mode, strategy) cases up front; the closed-loop
+  // systems are shared read-only across jobs.
+  struct Table2Case {
+    const model::BenchmarkModel* bm;
+    const model::PwaSystem* system;
+    std::size_t mode;
+    Strategy strategy;
+  };
+  std::vector<model::PwaSystem> systems;
+  std::vector<const model::BenchmarkModel*> models;
+  for (const auto& bm : model::benchmark_family()) {
     if (bm.integer_rounded) continue;
     if (std::find(sizes.begin(), sizes.end(), bm.size) == sizes.end())
       continue;
-    model::PwaSystem system =
-        model::close_loop(bm.plant, bm.controller, bm.references);
-    for (std::size_t mode = 0; mode < system.num_modes(); ++mode) {
+    systems.push_back(model::close_loop(bm.plant, bm.controller,
+                                        bm.references));
+    models.push_back(&bm);
+  }
+  std::vector<Table2Case> cases;
+  for (std::size_t i = 0; i < systems.size(); ++i)
+    for (std::size_t mode = 0; mode < systems[i].num_modes(); ++mode)
       for (const Strategy& strategy : paper_strategies()) {
         if (strategy.method == lyap::Method::EqSmt) continue;  // paper: TO
-        if (config.verbose)
-          std::cerr << "[table2] " << bm.name << " mode " << mode << " "
-                    << strategy.name() << "\n";
-        Table2Entry entry;
-        entry.model_name = bm.name;
-        entry.size = bm.size;
-        entry.mode = mode;
-        entry.strategy = strategy;
+        cases.push_back({models[i], &systems[i], mode, strategy});
+      }
+
+  result.entries.resize(cases.size());
+  for_each_job(
+      cases.size(), config.jobs,
+      [&](std::size_t idx, const CancelToken& token) {
+        const Table2Case& tc = cases[idx];
+        {
+          std::ostringstream line;
+          line << "[table2] " << tc.bm->name << " mode " << tc.mode << " "
+               << tc.strategy.name() << "\n";
+          progress(config, line.str());
+        }
+        Table2Entry& entry = result.entries[idx];
+        entry.model_name = tc.bm->name;
+        entry.size = tc.bm->size;
+        entry.mode = tc.mode;
+        entry.strategy = tc.strategy;
         lyap::SynthesisOptions options;
         options.alpha = config.alpha;
         options.nu = config.nu;
-        if (strategy.backend) options.backend = *strategy.backend;
+        if (tc.strategy.backend) options.backend = *tc.strategy.backend;
         options.deadline =
-            Deadline::after_seconds(config.synth_timeout_seconds);
+            Deadline::after_seconds(config.synth_timeout_seconds, token);
         std::optional<lyap::Candidate> candidate;
         try {
-          candidate = lyap::synthesize(system.mode(mode).a, strategy.method,
-                                       options);
+          candidate = lyap::synthesize(tc.system->mode(tc.mode).a,
+                                       tc.strategy.method, options);
         } catch (const TimeoutError&) {
         }
-        if (!candidate) {
-          result.entries.push_back(std::move(entry));
-          continue;
-        }
+        if (!candidate) return;
         entry.synthesized = true;
         try {
           robust::RegionOptions region_options;
           region_options.digits = config.digits;
-          region_options.deadline =
-              Deadline::after_seconds(config.validate_timeout_seconds);
+          region_options.deadline = Deadline::after_seconds(
+              config.validate_timeout_seconds, token);
           robust::RobustRegion region = robust::synthesize_region(
-              system, mode, candidate->p, bm.references, region_options);
+              *tc.system, tc.mode, candidate->p, tc.bm->references,
+              region_options);
           entry.certified = region.certified;
           entry.optimal = region.optimal;
           entry.seconds = region.seconds;
           entry.volume = region.volume;
           entry.epsilon = robust::reference_robustness_epsilon(
-              system, mode, candidate->p, bm.references, region);
+              *tc.system, tc.mode, candidate->p, tc.bm->references, region);
         } catch (const TimeoutError&) {
         } catch (const std::runtime_error&) {
           // e.g. candidate not PD after rounding: leave uncertified.
         }
-        result.entries.push_back(std::move(entry));
-      }
-    }
-  }
+      });
   return result;
 }
 

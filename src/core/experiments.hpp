@@ -40,6 +40,11 @@ struct ExperimentConfig {
   double alpha = 0.1;      ///< LMIa decay-rate parameter
   double nu = 1e-3;        ///< LMIa+ eigenvalue floor
   bool verbose = false;    ///< progress lines on stderr
+  /// Worker threads for the job pool: 0 = $SPIV_JOBS (else
+  /// hardware_concurrency), 1 = run serially on the calling thread.
+  /// All drivers merge job results in case-index order, so every non-timing
+  /// output (counts, candidates, outcomes) is identical for any value.
+  std::size_t jobs = 0;
 };
 
 /// One synthesized candidate, kept for the downstream experiments
@@ -58,12 +63,19 @@ struct CandidateRecord {
 // ---------------------------------------------------------------- Table I
 
 struct Table1Cell {
+  /// Sum of per-job synthesis durations (CPU time of the individual jobs;
+  /// under a parallel run this exceeds the harness wall-clock).
   double total_synth_seconds = 0.0;
   int synthesized = 0;
   int valid = 0;
   int timeouts = 0;
   int cases = 0;
 
+  /// Mean synthesis time over the *successfully synthesized* cases only.
+  /// Timed-out and failed cases are excluded from both numerator and
+  /// denominator — the paper prints "TO" instead of a time for all-timeout
+  /// cells — and a cell with no synthesized case returns 0.0 (never a
+  /// division by zero).
   [[nodiscard]] double avg_synth_seconds() const {
     return synthesized > 0 ? total_synth_seconds / synthesized : 0.0;
   }

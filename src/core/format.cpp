@@ -32,6 +32,16 @@ std::string pad(std::string s, std::size_t width, bool left = false) {
   return s;
 }
 
+// Printable synthesis time of a Table I cell.  "TO" is reserved for cells
+// where every case ran out of budget; a cell that synthesized nothing for
+// another reason (solver failure, or an empty cell with zero cases) prints
+// "-" so an all-timeout row can't be confused with a missing one.
+std::string cell_time(const Table1Cell& cell, int precision) {
+  if (cell.synthesized > 0) return fixed(cell.avg_synth_seconds(), precision);
+  if (cell.cases > 0 && cell.timeouts == cell.cases) return "TO";
+  return "-";
+}
+
 }  // namespace
 
 std::string format_table1(const Table1Result& result) {
@@ -56,9 +66,7 @@ std::string format_table1(const Table1Result& result) {
         continue;
       }
       const Table1Cell& cell = it->second;
-      const std::string time =
-          cell.synthesized > 0 ? fixed(cell.avg_synth_seconds(), 2) : "TO";
-      os << pad(time, 12)
+      os << pad(cell_time(cell, 2), 12)
          << pad(std::to_string(cell.valid) + "/" + std::to_string(cell.cases),
                 7);
     }
@@ -70,13 +78,48 @@ std::string format_table1(const Table1Result& result) {
 std::string table1_csv(const Table1Result& result) {
   std::ostringstream os;
   os << "method,solver,size,avg_synth_seconds,valid,cases,timeouts\n";
-  for (std::size_t s = 0; s < result.strategies.size(); ++s)
-    for (const auto& [size, cell] : result.cells[s])
+  // cells and strategies are populated together by run_table1; take the
+  // min so a hand-built partial result cannot index out of range.
+  const std::size_t rows = std::min(result.strategies.size(),
+                                    result.cells.size());
+  for (std::size_t s = 0; s < rows; ++s)
+    for (const auto& [size, cell] : result.cells[s]) {
+      if (cell.cases == 0) continue;  // empty cell: nothing to report
       os << lyap::to_string(result.strategies[s].method) << ","
          << result.strategies[s].backend_name() << "," << size << ","
-         << (cell.synthesized ? fixed(cell.avg_synth_seconds(), 6) : "TO")
-         << "," << cell.valid << "," << cell.cases << "," << cell.timeouts
-         << "\n";
+         << cell_time(cell, 6) << "," << cell.valid << "," << cell.cases
+         << "," << cell.timeouts << "\n";
+    }
+  return os.str();
+}
+
+std::string table1_bench_json(const Table1Result& result, double wall_seconds,
+                              std::size_t jobs) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"experiment\": \"table1\",\n";
+  os << "  \"jobs\": " << jobs << ",\n";
+  os << "  \"wall_seconds\": " << fixed(wall_seconds, 6) << ",\n";
+  os << "  \"cells\": [";
+  const std::size_t rows = std::min(result.strategies.size(),
+                                    result.cells.size());
+  bool first = true;
+  for (std::size_t s = 0; s < rows; ++s)
+    for (const auto& [size, cell] : result.cells[s]) {
+      if (cell.cases == 0) continue;
+      os << (first ? "\n" : ",\n");
+      first = false;
+      os << "    {\"method\": \"" << lyap::to_string(result.strategies[s].method)
+         << "\", \"solver\": \"" << result.strategies[s].backend_name()
+         << "\", \"size\": " << size
+         << ", \"total_synth_seconds\": " << fixed(cell.total_synth_seconds, 6)
+         << ", \"avg_synth_seconds\": " << fixed(cell.avg_synth_seconds(), 6)
+         << ", \"synthesized\": " << cell.synthesized
+         << ", \"valid\": " << cell.valid
+         << ", \"timeouts\": " << cell.timeouts
+         << ", \"cases\": " << cell.cases << "}";
+    }
+  os << "\n  ]\n}\n";
   return os.str();
 }
 

@@ -13,6 +13,15 @@ namespace spiv::core {
 [[nodiscard]] std::string format_table1(const Table1Result& result);
 [[nodiscard]] std::string table1_csv(const Table1Result& result);
 
+/// Machine-readable benchmark record for the Table I harness: one JSON
+/// object with the harness wall-clock, the worker count, and one entry per
+/// (strategy, size) cell carrying its per-cell seconds and counts.  Written
+/// by bench/table1_synthesis as BENCH_table1.json so CI can track the
+/// parallel speedup across runs.
+[[nodiscard]] std::string table1_bench_json(const Table1Result& result,
+                                            double wall_seconds,
+                                            std::size_t jobs);
+
 /// Fig. 3 layout: a cactus table — for each engine, the cumulative number
 /// of validation obligations solved within increasing time budgets.
 [[nodiscard]] std::string format_figure3(const Figure3Result& result);

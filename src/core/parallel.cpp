@@ -1,0 +1,126 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace spiv::core {
+
+std::size_t resolve_jobs(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("SPIV_JOBS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+JobPool::JobPool(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    threads_.emplace_back([this, i] { run_worker(i); });
+}
+
+JobPool::~JobPool() {
+  {
+    std::lock_guard<std::mutex> lock(signal_mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void JobPool::submit(Job job) {
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(signal_mutex_);
+    target = next_worker_;
+    next_worker_ = (next_worker_ + 1) % workers_.size();
+    ++pending_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    workers_[target]->jobs.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void JobPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(signal_mutex_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool JobPool::any_work() const {
+  for (const auto& w : workers_) {
+    std::lock_guard<std::mutex> lock(w->mutex);
+    if (!w->jobs.empty()) return true;
+  }
+  return false;
+}
+
+bool JobPool::try_pop(std::size_t self, Job& out) {
+  // Own deque first (LIFO end for locality) ...
+  {
+    Worker& w = *workers_[self];
+    std::lock_guard<std::mutex> lock(w.mutex);
+    if (!w.jobs.empty()) {
+      out = std::move(w.jobs.back());
+      w.jobs.pop_back();
+      return true;
+    }
+  }
+  // ... then steal from the front of the other deques (oldest job first,
+  // which keeps stolen work close to submission order).
+  const std::size_t n = workers_.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    Worker& w = *workers_[(self + k) % n];
+    std::lock_guard<std::mutex> lock(w.mutex);
+    if (!w.jobs.empty()) {
+      out = std::move(w.jobs.front());
+      w.jobs.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void JobPool::run_worker(std::size_t self) {
+  for (;;) {
+    Job job;
+    if (!try_pop(self, job)) {
+      std::unique_lock<std::mutex> lock(signal_mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || any_work(); });
+      if (stop_ && !any_work()) return;
+      continue;
+    }
+    job();
+    bool idle;
+    {
+      std::lock_guard<std::mutex> lock(signal_mutex_);
+      idle = --pending_ == 0;
+    }
+    if (idle) idle_cv_.notify_all();
+  }
+}
+
+void for_each_job(
+    std::size_t n, std::size_t jobs,
+    const std::function<void(std::size_t, const CancelToken&)>& body) {
+  jobs = resolve_jobs(jobs);
+  if (jobs <= 1 || n <= 1) {
+    const CancelToken token;
+    for (std::size_t i = 0; i < n; ++i) body(i, token);
+    return;
+  }
+  JobPool pool{std::min(jobs, n)};
+  for (std::size_t i = 0; i < n; ++i)
+    pool.submit([&body, &pool, i] { body(i, pool.token()); });
+  pool.wait_idle();
+}
+
+}  // namespace spiv::core

@@ -1,0 +1,90 @@
+// spiv::core — work-stealing job pool for the experiment harness.
+//
+// The paper's evaluation (§VI) is embarrassingly parallel: Table I is
+// strategies x model variants x modes of independent synthesis jobs, Fig. 3
+// is candidates x validator engines, Table II is models x modes x
+// strategies.  JobPool runs those case lists across worker threads with
+// per-worker deques and work stealing, so one long eq-smt solve no longer
+// serializes the whole table behind it.
+//
+// Determinism contract: callers enumerate their case list up front, each
+// job writes only its own pre-allocated slot, and results are merged on the
+// calling thread in case-index order — so parallel output is identical to
+// the serial harness for everything that is not a wall-clock measurement.
+//
+// Cancellation: the pool owns a CancelToken.  Jobs bind their per-job
+// Deadline to it (Deadline::after_seconds(s, pool.token())), so cancel()
+// preempts running kernels at their next innermost-loop poll.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exact/timeout.hpp"
+
+namespace spiv::core {
+
+/// Worker count to use: `requested` if nonzero, else $SPIV_JOBS, else
+/// hardware_concurrency().  Always >= 1.
+[[nodiscard]] std::size_t resolve_jobs(std::size_t requested = 0);
+
+/// Fixed-size work-stealing thread pool.  Jobs must not throw (wrap the
+/// body and record failures in the job's result slot instead).
+class JobPool {
+ public:
+  using Job = std::function<void()>;
+
+  explicit JobPool(std::size_t threads);
+  ~JobPool();
+
+  JobPool(const JobPool&) = delete;
+  JobPool& operator=(const JobPool&) = delete;
+
+  /// Enqueue a job (round-robin over the worker deques).
+  void submit(Job job);
+
+  /// Block until every submitted job has finished.
+  void wait_idle();
+
+  /// Flip the pool's CancelToken: deadlines bound to it expire immediately.
+  void cancel_all() const { token_.cancel(); }
+
+  [[nodiscard]] const CancelToken& token() const { return token_; }
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<Job> jobs;
+  };
+
+  void run_worker(std::size_t self);
+  bool try_pop(std::size_t self, Job& out);
+  [[nodiscard]] bool any_work() const;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  mutable std::mutex signal_mutex_;
+  std::condition_variable work_cv_;  ///< workers: new work or stop
+  std::condition_variable idle_cv_;  ///< wait_idle: pending reached zero
+  std::size_t pending_ = 0;          ///< submitted but not yet finished
+  bool stop_ = false;
+  std::size_t next_worker_ = 0;  ///< round-robin submission cursor
+  CancelToken token_;
+};
+
+/// Run body(i, token) for every i in [0, n) on a JobPool with `jobs`
+/// workers.  jobs <= 1 (after resolve_jobs) runs inline on the calling
+/// thread with a fresh token, reproducing the serial harness exactly.
+/// The body must not throw; each invocation should write only slot i of a
+/// pre-sized result vector.
+void for_each_job(std::size_t n, std::size_t jobs,
+                  const std::function<void(std::size_t, const CancelToken&)>& body);
+
+}  // namespace spiv::core

@@ -56,57 +56,6 @@ RatMatrix lyapunov_operator_vech(const RatMatrix& a, const Deadline& deadline) {
   return op;
 }
 
-namespace {
-
-/// Deadline-aware exact Gaussian elimination solve (single RHS).
-std::optional<std::vector<Rational>> solve_with_deadline(
-    RatMatrix m, std::vector<Rational> rhs, const Deadline& deadline) {
-  const std::size_t n = m.rows();
-  for (std::size_t col = 0; col < n; ++col) {
-    deadline.check();
-    std::size_t pivot = n;
-    std::size_t best_bits = 0;
-    for (std::size_t r = col; r < n; ++r) {
-      if (m(r, col).is_zero()) continue;
-      const std::size_t bits = m(r, col).bit_size();
-      if (pivot == n || bits < best_bits) {
-        pivot = r;
-        best_bits = bits;
-      }
-    }
-    if (pivot == n) return std::nullopt;
-    if (pivot != col) {
-      for (std::size_t j = col; j < n; ++j) std::swap(m(pivot, j), m(col, j));
-      std::swap(rhs[pivot], rhs[col]);
-    }
-    const Rational inv_pivot = m(col, col).reciprocal();
-    for (std::size_t r = col + 1; r < n; ++r) {
-      if (m(r, col).is_zero()) continue;
-      deadline.check();
-      const Rational factor = m(r, col) * inv_pivot;
-      m(r, col) = Rational{};
-      for (std::size_t j = col + 1; j < n; ++j) {
-        if (m(col, j).is_zero()) continue;
-        m(r, j) -= factor * m(col, j);
-      }
-      if (!rhs[col].is_zero()) rhs[r] -= factor * rhs[col];
-    }
-  }
-  std::vector<Rational> x(n);
-  for (std::size_t i = n; i-- > 0;) {
-    deadline.check();
-    Rational acc = rhs[i];
-    for (std::size_t j = i + 1; j < n; ++j) {
-      if (m(i, j).is_zero() || x[j].is_zero()) continue;
-      acc -= m(i, j) * x[j];
-    }
-    x[i] = acc / m(i, i);
-  }
-  return x;
-}
-
-}  // namespace
-
 std::optional<RatMatrix> solve_lyapunov_exact(const RatMatrix& a,
                                               const RatMatrix& q,
                                               const Deadline& deadline) {
@@ -116,8 +65,9 @@ std::optional<RatMatrix> solve_lyapunov_exact(const RatMatrix& a,
     throw std::invalid_argument("solve_lyapunov_exact: Q must be symmetric");
   const std::size_t n = a.rows();
   RatMatrix op = lyapunov_operator_vech(a, deadline);
-  std::vector<Rational> rhs = vech(-q);
-  auto x = solve_with_deadline(std::move(op), std::move(rhs), deadline);
+  // Deadline-aware fraction-free solve (RatMatrix::solve polls the deadline
+  // and any attached CancelToken at row granularity).
+  auto x = op.solve(vech(-q), deadline);
   if (!x) return std::nullopt;
   return unvech(*x, n);
 }
@@ -141,7 +91,7 @@ std::optional<RatMatrix> solve_lyapunov_exact_full_kronecker(
   for (std::size_t col = 0; col < n; ++col)
     for (std::size_t row = 0; row < n; ++row)
       rhs[col * n + row] = -q(row, col);
-  auto x = solve_with_deadline(std::move(op), std::move(rhs), deadline);
+  auto x = op.solve(rhs, deadline);
   if (!x) return std::nullopt;
   RatMatrix p{n, n};
   for (std::size_t col = 0; col < n; ++col)

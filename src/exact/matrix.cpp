@@ -93,46 +93,103 @@ RatMatrix RatMatrix::symmetrized() const {
   return out;
 }
 
-Rational RatMatrix::determinant() const {
-  if (!is_square())
-    throw std::invalid_argument("RatMatrix: determinant requires square");
-  const std::size_t n = rows_;
-  if (n == 0) return Rational{1};
-  // Plain rational Gaussian elimination with pivot selection by smallest
-  // operand size (limits coefficient growth); track row-swap parity.
-  RatMatrix m = *this;
-  Rational det{1};
+namespace {
+
+/// Integer augmented system [M | R] obtained from a rational one by
+/// multiplying each row by the LCM of its denominators.  `row_scales[i]`
+/// records that LCM (needed to recover determinants).
+struct IntSystem {
+  std::vector<std::vector<BigInt>> m;
+  std::vector<std::vector<BigInt>> rhs;
+  std::vector<BigInt> row_scales;
+};
+
+IntSystem clear_denominators(const RatMatrix& a, const RatMatrix* b) {
+  const std::size_t n = a.rows();
+  const std::size_t k = b ? b->cols() : 0;
+  IntSystem sys;
+  sys.m.assign(n, std::vector<BigInt>(a.cols()));
+  sys.rhs.assign(n, std::vector<BigInt>(k));
+  sys.row_scales.assign(n, BigInt{1});
+  for (std::size_t i = 0; i < n; ++i) {
+    BigInt& l = sys.row_scales[i];
+    auto fold = [&l](const Rational& v) {
+      if (!v.den().is_one()) l = l / BigInt::gcd(l, v.den()) * v.den();
+    };
+    for (std::size_t j = 0; j < a.cols(); ++j) fold(a(i, j));
+    for (std::size_t j = 0; j < k; ++j) fold((*b)(i, j));
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      sys.m[i][j] = a(i, j).num() * (l / a(i, j).den());
+    for (std::size_t j = 0; j < k; ++j)
+      sys.rhs[i][j] = (*b)(i, j).num() * (l / (*b)(i, j).den());
+  }
+  return sys;
+}
+
+/// One sweep of fraction-free Bareiss elimination on an integer augmented
+/// system, with smallest-entry pivoting.  Every division by the previous
+/// pivot is exact (Sylvester's identity), so no gcd/normalization runs
+/// inside the elimination.  Returns false when the matrix is singular;
+/// `parity` flips per row swap.  Checks `deadline` at row granularity (the
+/// atomic cancel poll is cheap; Clock::now() only every few rows).
+bool bareiss_eliminate(IntSystem& sys, const Deadline& deadline,
+                       bool* parity) {
+  const std::size_t n = sys.m.size();
+  const std::size_t k = sys.rhs.empty() ? 0 : sys.rhs.front().size();
+  BigInt prev{1};
+  std::size_t poll = 0;
   for (std::size_t col = 0; col < n; ++col) {
-    // Choose the nonzero pivot with smallest bit_size.
+    deadline.check();
     std::size_t pivot = n;
     std::size_t best_bits = 0;
     for (std::size_t r = col; r < n; ++r) {
-      if (m(r, col).is_zero()) continue;
-      const std::size_t bits = m(r, col).bit_size();
+      if (sys.m[r][col].is_zero()) continue;
+      const std::size_t bits = sys.m[r][col].bit_length();
       if (pivot == n || bits < best_bits) {
         pivot = r;
         best_bits = bits;
       }
     }
-    if (pivot == n) return Rational{};  // singular
+    if (pivot == n) return false;  // singular
     if (pivot != col) {
-      for (std::size_t j = 0; j < n; ++j)
-        std::swap(m(pivot, j), m(col, j));
-      det = -det;
+      sys.m[pivot].swap(sys.m[col]);
+      if (k) sys.rhs[pivot].swap(sys.rhs[col]);
+      if (parity) *parity = !*parity;
     }
-    det *= m(col, col);
-    const Rational inv_pivot = m(col, col).reciprocal();
+    const BigInt& p = sys.m[col][col];
     for (std::size_t r = col + 1; r < n; ++r) {
-      if (m(r, col).is_zero()) continue;
-      const Rational factor = m(r, col) * inv_pivot;
-      m(r, col) = Rational{};
-      for (std::size_t j = col + 1; j < n; ++j) {
-        if (m(col, j).is_zero()) continue;
-        m(r, j) -= factor * m(col, j);
-      }
+      if ((++poll & 7u) == 0) deadline.check();
+      const BigInt f = std::move(sys.m[r][col]);
+      sys.m[r][col] = BigInt{};
+      // Note: even for f == 0 the row must be rescaled by p/prev to keep
+      // every entry a minor of the original matrix (exact divisions).
+      for (std::size_t j = col + 1; j < n; ++j)
+        sys.m[r][j] = (p * sys.m[r][j] - f * sys.m[col][j]) / prev;
+      for (std::size_t j = 0; j < k; ++j)
+        sys.rhs[r][j] = (p * sys.rhs[r][j] - f * sys.rhs[col][j]) / prev;
     }
+    prev = p;
   }
-  return det;
+  return true;
+}
+
+}  // namespace
+
+Rational RatMatrix::determinant(const Deadline& deadline) const {
+  if (!is_square())
+    throw std::invalid_argument("RatMatrix: determinant requires square");
+  const std::size_t n = rows_;
+  if (n == 0) return Rational{1};
+  IntSystem sys = clear_denominators(*this, nullptr);
+  bool parity = false;
+  if (!bareiss_eliminate(sys, deadline, &parity)) return Rational{};
+  // The last Bareiss pivot is det of the scaled integer matrix; undo the
+  // per-row scaling and the swap parity.
+  BigInt scale{1};
+  for (const BigInt& l : sys.row_scales) scale *= l;
+  BigInt det = sys.m[n - 1][n - 1];
+  if (parity) det = -det;
+  return Rational{std::move(det), std::move(scale)};
 }
 
 std::vector<Rational> RatMatrix::leading_principal_minors() const {
@@ -173,67 +230,38 @@ std::vector<Rational> RatMatrix::leading_principal_minors() const {
   return minors;
 }
 
-std::optional<RatMatrix> RatMatrix::solve(const RatMatrix& b) const {
+std::optional<RatMatrix> RatMatrix::solve(const RatMatrix& b,
+                                          const Deadline& deadline) const {
   if (!is_square() || b.rows_ != rows_)
     throw std::invalid_argument("RatMatrix: solve shape mismatch");
   const std::size_t n = rows_;
-  RatMatrix m = *this;
-  RatMatrix rhs = b;
-  // Forward elimination with smallest-entry pivoting.
-  for (std::size_t col = 0; col < n; ++col) {
-    std::size_t pivot = n;
-    std::size_t best_bits = 0;
-    for (std::size_t r = col; r < n; ++r) {
-      if (m(r, col).is_zero()) continue;
-      const std::size_t bits = m(r, col).bit_size();
-      if (pivot == n || bits < best_bits) {
-        pivot = r;
-        best_bits = bits;
-      }
-    }
-    if (pivot == n) return std::nullopt;
-    if (pivot != col) {
-      for (std::size_t j = 0; j < n; ++j) std::swap(m(pivot, j), m(col, j));
-      for (std::size_t j = 0; j < rhs.cols_; ++j)
-        std::swap(rhs(pivot, j), rhs(col, j));
-    }
-    const Rational inv_pivot = m(col, col).reciprocal();
-    for (std::size_t r = col + 1; r < n; ++r) {
-      if (m(r, col).is_zero()) continue;
-      const Rational factor = m(r, col) * inv_pivot;
-      m(r, col) = Rational{};
-      for (std::size_t j = col + 1; j < n; ++j) {
-        if (m(col, j).is_zero()) continue;
-        m(r, j) -= factor * m(col, j);
-      }
-      for (std::size_t j = 0; j < rhs.cols_; ++j) {
-        if (rhs(col, j).is_zero()) continue;
-        rhs(r, j) -= factor * rhs(col, j);
-      }
-    }
-  }
-  // Back substitution.
-  RatMatrix x{n, rhs.cols_};
-  for (std::size_t col = 0; col < rhs.cols_; ++col) {
+  const std::size_t k = b.cols_;
+  if (n == 0) return RatMatrix{0, k};
+  IntSystem sys = clear_denominators(*this, &b);
+  if (!bareiss_eliminate(sys, deadline, nullptr)) return std::nullopt;
+  // Back substitution on the integer triangle, back in Rational arithmetic.
+  RatMatrix x{n, k};
+  for (std::size_t col = 0; col < k; ++col) {
     for (std::size_t i = n; i-- > 0;) {
-      Rational acc = rhs(i, col);
+      deadline.check();
+      Rational acc{sys.rhs[i][col], BigInt{1}};
       for (std::size_t j = i + 1; j < n; ++j) {
-        if (m(i, j).is_zero() || x(j, col).is_zero()) continue;
-        acc -= m(i, j) * x(j, col);
+        if (sys.m[i][j].is_zero() || x(j, col).is_zero()) continue;
+        acc -= Rational{sys.m[i][j], BigInt{1}} * x(j, col);
       }
-      x(i, col) = acc / m(i, i);
+      x(i, col) = acc / Rational{sys.m[i][i], BigInt{1}};
     }
   }
   return x;
 }
 
 std::optional<std::vector<Rational>> RatMatrix::solve(
-    const std::vector<Rational>& b) const {
+    const std::vector<Rational>& b, const Deadline& deadline) const {
   if (b.size() != rows_)
     throw std::invalid_argument("RatMatrix: solve rhs size mismatch");
   RatMatrix col{rows_, 1};
   for (std::size_t i = 0; i < rows_; ++i) col(i, 0) = b[i];
-  auto x = solve(col);
+  auto x = solve(col, deadline);
   if (!x) return std::nullopt;
   std::vector<Rational> out(rows_);
   for (std::size_t i = 0; i < rows_; ++i) out[i] = (*x)(i, 0);

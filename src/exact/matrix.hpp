@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "exact/rational.hpp"
+#include "exact/timeout.hpp"
 
 namespace spiv::exact {
 
@@ -65,20 +66,27 @@ class RatMatrix {
   [[nodiscard]] RatMatrix symmetrized() const;
 
   /// Exact determinant (fraction-free Bareiss after clearing denominators).
-  /// Requires a square matrix.
-  [[nodiscard]] Rational determinant() const;
+  /// Requires a square matrix.  Throws TimeoutError when `deadline` expires
+  /// mid-elimination.
+  [[nodiscard]] Rational determinant(const Deadline& deadline = {}) const;
 
   /// Leading principal minors det(M[0..k, 0..k]) for k = 0..n-1, computed in
   /// one elimination sweep.  Requires a square matrix.
   [[nodiscard]] std::vector<Rational> leading_principal_minors() const;
 
-  /// Exact solve A x = b for square non-singular A (Gaussian elimination with
-  /// nonzero pivoting).  Returns nullopt when A is singular.
+  /// Exact solve A x = b for square non-singular A.  Returns nullopt when A
+  /// is singular.  Throws TimeoutError when `deadline` expires mid-solve.
   [[nodiscard]] std::optional<std::vector<Rational>> solve(
-      const std::vector<Rational>& b) const;
+      const std::vector<Rational>& b, const Deadline& deadline = {}) const;
 
-  /// Exact solve A X = B (multi-RHS).  Returns nullopt when A is singular.
-  [[nodiscard]] std::optional<RatMatrix> solve(const RatMatrix& b) const;
+  /// Exact solve A X = B (multi-RHS) by fraction-free Bareiss elimination of
+  /// the augmented system after clearing denominators row-wise, with
+  /// smallest-entry pivoting.  Every elimination step divides exactly (no
+  /// rational gcd normalization on the hot path); only the final back
+  /// substitution returns to Rational arithmetic.  Returns nullopt when A is
+  /// singular.  Throws TimeoutError when `deadline` expires mid-solve.
+  [[nodiscard]] std::optional<RatMatrix> solve(
+      const RatMatrix& b, const Deadline& deadline = {}) const;
 
   /// Exact inverse.  Returns nullopt when singular.
   [[nodiscard]] std::optional<RatMatrix> inverse() const;

@@ -82,7 +82,9 @@ StateSpace round_to_integers(const StateSpace& sys) {
   return out;
 }
 
-std::vector<BenchmarkModel> make_benchmark_family() {
+namespace {
+
+std::vector<BenchmarkModel> build_benchmark_family() {
   const StateSpace engine = make_engine_model();
   const SwitchedPiController ctrl = make_engine_controller();
 
@@ -108,6 +110,19 @@ std::vector<BenchmarkModel> make_benchmark_family() {
   add("size15", 15, false, balanced_truncation(engine, 15).sys);
   add("size18", 18, false, engine);
   return family;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkModel>& benchmark_family() {
+  // Thread-safe (C++11 magic static): the five balanced truncations run
+  // exactly once per process even when experiment drivers race here.
+  static const std::vector<BenchmarkModel> family = build_benchmark_family();
+  return family;
+}
+
+std::vector<BenchmarkModel> make_benchmark_family() {
+  return benchmark_family();
 }
 
 }  // namespace spiv::model

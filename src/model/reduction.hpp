@@ -45,6 +45,13 @@ struct BenchmarkModel {
 /// The full family: sizes {3, 5, 10} in float and integer-rounded variants
 /// plus {15, 18} float-only — 8 plants, 2 closed-loop modes each, matching
 /// the paper's per-size case counts (4/4/4/2/2 in Table I).
+///
+/// The balanced-truncation reductions run once per process: both functions
+/// serve from a thread-safe cache (the experiment drivers used to recompute
+/// all five reductions per harness invocation).
 [[nodiscard]] std::vector<BenchmarkModel> make_benchmark_family();
+
+/// Cached variant of make_benchmark_family() that avoids the copy.
+[[nodiscard]] const std::vector<BenchmarkModel>& benchmark_family();
 
 }  // namespace spiv::model

@@ -42,7 +42,10 @@ std::vector<Rational> characteristic_polynomial_interpolation(
     RatMatrix shifted = -m;
     for (std::size_t i = 0; i < n; ++i)
       shifted(i, i) += Rational{static_cast<std::int64_t>(k)};
-    values[k] = shifted.determinant();
+    // Each determinant is the engine's dominant cost; pass the deadline so
+    // a cancellation preempts inside the elimination, not just between
+    // interpolation nodes.
+    values[k] = shifted.determinant(deadline);
   }
   // Newton's divided differences on integer nodes, then expand to the
   // monomial basis.

@@ -38,6 +38,7 @@ Outcome sylvester_strict(const RatMatrix& input, const Deadline& deadline) {
     const Rational inv_pivot = m(col, col).reciprocal();
     for (std::size_t r = col + 1; r < n; ++r) {
       if (m(r, col).is_zero()) continue;
+      deadline.check();  // row-level poll: rows get heavy late in elimination
       const Rational factor = m(r, col) * inv_pivot;
       m(r, col) = Rational{};
       for (std::size_t j = col + 1; j < n; ++j) {
@@ -63,6 +64,7 @@ Outcome bareiss_strict(const RatMatrix& input, const Deadline& deadline) {
     // Bareiss pivots are exactly the leading principal minors.
     if (pivot.sign() <= 0) return Outcome::Invalid;
     for (std::size_t r = col + 1; r < n; ++r) {
+      deadline.check();  // row-level poll; see sylvester_strict
       for (std::size_t j = col + 1; j < n; ++j) {
         m(r, j) = (pivot * m(r, j) - m(r, col) * m(col, j)) / prev_pivot;
       }
@@ -89,6 +91,7 @@ Outcome ldlt_strict(const RatMatrix& input, const Deadline& deadline) {
     d[j] = dj;
     const Rational inv_dj = dj.reciprocal();
     for (std::size_t i = j + 1; i < n; ++i) {
+      deadline.check();  // row-level poll; see sylvester_strict
       Rational acc = input(i, j);
       for (std::size_t k = 0; k < j; ++k) {
         if (l(i, k).is_zero() || l(j, k).is_zero()) continue;
@@ -142,17 +145,18 @@ Verdict check_positive_definite(const RatMatrix& m, Engine engine,
         if (options.det_encoding) {
           // "+det": nonsingularity first, then the weak condition (which
           // together with det != 0 is equivalent to the strict one).
-          if (m.determinant().is_zero()) return finish(Outcome::Invalid);
+          if (m.determinant(options.deadline).is_zero())
+            return finish(Outcome::Invalid);
         }
         return finish(sylvester_strict(m, options.deadline));
       }
       case Engine::SympyGauss: {
-        if (options.det_encoding && m.determinant().is_zero())
+        if (options.det_encoding && m.determinant(options.deadline).is_zero())
           return finish(Outcome::Invalid);
         return finish(bareiss_strict(m, options.deadline));
       }
       case Engine::Ldlt: {
-        if (options.det_encoding && m.determinant().is_zero())
+        if (options.det_encoding && m.determinant(options.deadline).is_zero())
           return finish(Outcome::Invalid);
         return finish(ldlt_strict(m, options.deadline));
       }

@@ -49,6 +49,56 @@ TEST(Format, Table1CsvIsWellFormed) {
   EXPECT_NE(csv.find("eq-smt,,15,TO,0,2,2"), std::string::npos);
 }
 
+TEST(Format, AvgSynthSecondsExcludesTimeouts) {
+  // total_synth_seconds accumulates only over synthesized cases, so the
+  // average divides by `synthesized`, never by `cases`: a cell with 2
+  // successes (3 s of solver time) and 2 timeouts averages 1.5 s, not 0.75.
+  Table1Cell cell;
+  cell.cases = 4;
+  cell.synthesized = 2;
+  cell.timeouts = 2;
+  cell.total_synth_seconds = 3.0;
+  EXPECT_DOUBLE_EQ(cell.avg_synth_seconds(), 1.5);
+  // An all-timeout cell has no synthesis times at all: 0.0, not a 0/0.
+  Table1Cell all_to;
+  all_to.cases = 2;
+  all_to.timeouts = 2;
+  EXPECT_DOUBLE_EQ(all_to.avg_synth_seconds(), 0.0);
+}
+
+TEST(Format, Table1DistinguishesTimeoutFromFailure) {
+  Table1Result r;
+  r.strategies = {Strategy{lyap::Method::EqSmt, std::nullopt}};
+  r.cells.resize(1);
+  Table1Cell failed;  // solver gave up without timing out
+  failed.cases = 2;
+  r.cells[0][5] = failed;
+  Table1Cell empty;  // zero cases: must not appear in the CSV at all
+  r.cells[0][18] = empty;
+  const std::string table = format_table1(r);
+  EXPECT_EQ(table.find("TO"), std::string::npos);
+  const std::string csv = table1_csv(r);
+  EXPECT_NE(csv.find("eq-smt,,5,-,0,2,0"), std::string::npos);
+  EXPECT_EQ(csv.find(",18,"), std::string::npos);
+}
+
+TEST(Format, Table1BenchJsonWellFormed) {
+  const std::string json = table1_bench_json(small_table1(), 12.5, 4);
+  EXPECT_NE(json.find("\"experiment\": \"table1\""), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_seconds\": 12.5"), std::string::npos);
+  EXPECT_NE(json.find("\"method\": \"eq-smt\""), std::string::npos);
+  EXPECT_NE(json.find("\"size\": 15"), std::string::npos);
+  EXPECT_NE(json.find("\"timeouts\": 2"), std::string::npos);
+  // Three populated cells -> three objects.
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("\"avg_synth_seconds\"", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
 TEST(Format, Figure3CactusCountsMonotone) {
   Figure3Result r;
   r.engines = {{smt::Engine::Sylvester, false}, {smt::Engine::SmtZ3Style, true}};
