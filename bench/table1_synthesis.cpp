@@ -10,23 +10,64 @@
 // Besides the human-readable table and table1.csv, the harness records its
 // own wall-clock and worker count in BENCH_table1.json so the parallel
 // speedup (SPIV_JOBS=N vs 1) can be tracked by machines.
+//
+// With SPIV_COLD_WARM=1 and SPIV_CACHE_DIR set, the grid runs twice —
+// cold (computing + filling the certificate store) then warm (served from
+// the store) — and BENCH_service.json records cold/warm seconds, the hit
+// count, and whether the two tables were byte-identical, so the perf
+// trajectory captures cache effectiveness.
 #include <chrono>
 #include <iostream>
+#include <sstream>
 
 #include "bench_common.hpp"
 #include "core/format.hpp"
 #include "core/parallel.hpp"
+#include "store/cert_store.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double run_once(const spiv::core::ExperimentConfig& config,
+                spiv::core::Table1Result& result) {
+  const auto t0 = Clock::now();
+  result = spiv::core::run_table1(config);
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::string service_bench_json(double cold_seconds, double warm_seconds,
+                               std::uint64_t hits, bool identical,
+                               std::size_t jobs) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"experiment\": \"table1-cold-warm\",\n";
+  os << "  \"jobs\": " << jobs << ",\n";
+  os << "  \"cold_seconds\": " << cold_seconds << ",\n";
+  os << "  \"warm_seconds\": " << warm_seconds << ",\n";
+  os << "  \"speedup\": "
+     << (warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0) << ",\n";
+  os << "  \"hits\": " << hits << ",\n";
+  os << "  \"cells_identical\": " << (identical ? "true" : "false") << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace
 
 int main() {
   using namespace spiv;
   core::ExperimentConfig config = bench::make_config(
       /*synth_timeout=*/75.0, /*validate_timeout=*/60.0);
   const std::size_t jobs = core::resolve_jobs(config.jobs);
-  const auto t0 = std::chrono::steady_clock::now();
-  core::Table1Result result = core::run_table1(config);
-  const double wall = std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count();
+
+  store::CertStore* cache = store::CertStore::from_env();
+  const bool cold_warm = bench::env_flag("SPIV_COLD_WARM") && cache != nullptr;
+  if (bench::env_flag("SPIV_COLD_WARM") && !cache)
+    std::cerr << "table1: SPIV_COLD_WARM=1 ignored (SPIV_CACHE_DIR unset)\n";
+
+  core::Table1Result result;
+  const double wall = run_once(config, result);
   std::cout << core::format_table1(result);
   core::write_file("table1.csv", core::table1_csv(result));
   core::write_file("BENCH_table1.json",
@@ -34,5 +75,20 @@ int main() {
   std::cout << "(CSV written to table1.csv; harness wall-clock " << wall
             << " s with " << jobs
             << " worker(s) recorded in BENCH_table1.json)\n";
+
+  if (cold_warm) {
+    const store::StoreStats before = cache->stats();
+    core::Table1Result warm_result;
+    const double warm_wall = run_once(config, warm_result);
+    const std::uint64_t hits = cache->stats().hits() - before.hits();
+    const bool identical =
+        core::format_table1(warm_result) == core::format_table1(result);
+    core::write_file("BENCH_service.json",
+                     service_bench_json(wall, warm_wall, hits, identical, jobs));
+    std::cout << "(cold " << wall << " s -> warm " << warm_wall << " s, "
+              << hits << " store hit(s), cells "
+              << (identical ? "identical" : "DIFFERENT")
+              << "; recorded in BENCH_service.json)\n";
+  }
   return 0;
 }

@@ -7,6 +7,7 @@
 
 #include "core/parallel.hpp"
 #include "model/switched_pi.hpp"
+#include "store/cert_store.hpp"
 
 namespace spiv::core {
 
@@ -90,6 +91,12 @@ Table1Result run_table1(const ExperimentConfig& config) {
   };
   std::vector<SynthOutcome> outcomes(result.strategies.size() * num_cases);
 
+  // Certificate store, enabled by $SPIV_CACHE_DIR (nullptr = recompute
+  // everything, exactly the pre-cache behaviour).  Warm entries replay the
+  // stored candidate, verdict, and synthesis time, so a warm run produces
+  // bit-identical table cells.
+  store::CertStore* cache = store::CertStore::from_env();
+
   for_each_job(
       outcomes.size(), config.jobs,
       [&](std::size_t idx, const CancelToken& token) {
@@ -101,6 +108,23 @@ Table1Result run_table1(const ExperimentConfig& config) {
           line << "[table1] " << strategy.name() << " " << mc.model_name
                << " mode " << mc.mode << "\n";
           progress(config, line.str());
+        }
+        store::CertRequest request;
+        std::string key;
+        if (cache) {
+          request.a = mc.a;
+          request.method = strategy.method;
+          request.backend = strategy.backend;
+          request.engine = smt::Engine::Sylvester;
+          request.digits = config.digits;
+          key = store::request_key(request);
+          if (auto record = cache->lookup(key)) {
+            out.synthesized = true;
+            out.synth_seconds = record->candidate.synth_seconds;
+            out.valid = record->validation.valid();
+            out.p = std::move(record->candidate.p);
+            return;
+          }
         }
         lyap::SynthesisOptions options;
         options.alpha = config.alpha;
@@ -125,6 +149,11 @@ Table1Result run_table1(const ExperimentConfig& config) {
         auto validation = smt::validate_lyapunov(
             mc.a, candidate->p, smt::Engine::Sylvester, config.digits, check);
         out.valid = validation.valid();
+        // Only completed verdicts become certificates: a timeout depends on
+        // this run's budget and must not poison warmer runs.
+        if (cache && validation.positivity.outcome != smt::Outcome::Timeout &&
+            validation.decrease.outcome != smt::Outcome::Timeout)
+          cache->insert(key, store::CertRecord{*candidate, validation});
         out.p = std::move(candidate->p);
       });
 

@@ -44,6 +44,11 @@ struct ExperimentConfig {
   /// hardware_concurrency), 1 = run serially on the calling thread.
   /// All drivers merge job results in case-index order, so every non-timing
   /// output (counts, candidates, outcomes) is identical for any value.
+  ///
+  /// When $SPIV_CACHE_DIR is set, run_table1 additionally consults the
+  /// content-addressed certificate store (store/cert_store.hpp): warm
+  /// entries replay the stored candidate, verdict, and recorded synthesis
+  /// time, making a warm re-run near-instant with bit-identical cells.
   std::size_t jobs = 0;
 };
 

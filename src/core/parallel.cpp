@@ -1,19 +1,51 @@
 #include "core/parallel.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <cstdlib>
+#include <iostream>
 
 namespace spiv::core {
 
+namespace {
+
+/// One stderr warning per process for a bad $SPIV_JOBS value: the harnesses
+/// call resolve_jobs once per driver, and a misconfigured environment should
+/// not spam every invocation.
+void warn_jobs_once(const std::string& message) {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) std::cerr << "spiv: " << message << "\n";
+}
+
+}  // namespace
+
 std::size_t resolve_jobs(std::size_t requested) {
   if (requested > 0) return requested;
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const std::size_t hw = hw_raw > 0 ? hw_raw : 1;
   if (const char* env = std::getenv("SPIV_JOBS")) {
+    // Require a full parse: "4abc" used to slip through strtol as 4.
     char* end = nullptr;
+    errno = 0;
     const long v = std::strtol(env, &end, 10);
-    if (end != env && v > 0) return static_cast<std::size_t>(v);
+    const bool fully_parsed = end != env && *end == '\0' && errno == 0;
+    // Oversubscribing a work-stealing pool beyond a few threads per core
+    // only adds contention; treat anything past 8x the hardware as a typo.
+    const std::size_t cap = 8 * hw;
+    if (fully_parsed && v > 0) {
+      if (static_cast<unsigned long>(v) <= cap)
+        return static_cast<std::size_t>(v);
+      warn_jobs_once("SPIV_JOBS=" + std::string{env} + " exceeds " +
+                     std::to_string(cap) + " (8x hardware_concurrency); using " +
+                     std::to_string(cap));
+      return cap;
+    }
+    warn_jobs_once("ignoring invalid SPIV_JOBS='" + std::string{env} +
+                   "' (must be a positive integer); using " +
+                   std::to_string(hw));
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
+  return hw;
 }
 
 JobPool::JobPool(std::size_t threads) {

@@ -31,7 +31,9 @@
 namespace spiv::core {
 
 /// Worker count to use: `requested` if nonzero, else $SPIV_JOBS, else
-/// hardware_concurrency().  Always >= 1.
+/// hardware_concurrency().  Always >= 1.  $SPIV_JOBS must parse fully as a
+/// positive integer (trailing junk rejects the value) and is capped at 8x
+/// hardware_concurrency(); rejected or clamped values warn once on stderr.
 [[nodiscard]] std::size_t resolve_jobs(std::size_t requested = 0);
 
 /// Fixed-size work-stealing thread pool.  Jobs must not throw (wrap the

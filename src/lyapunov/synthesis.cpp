@@ -24,6 +24,13 @@ std::string to_string(Method m) {
   return "?";
 }
 
+std::optional<Method> method_from_string(const std::string& name) {
+  for (Method m : {Method::EqSmt, Method::EqNum, Method::Modal, Method::Lmi,
+                   Method::LmiAlpha, Method::LmiAlphaPlus})
+    if (to_string(m) == name) return m;
+  return std::nullopt;
+}
+
 bool is_lmi_method(Method m) {
   return m == Method::Lmi || m == Method::LmiAlpha ||
          m == Method::LmiAlphaPlus;

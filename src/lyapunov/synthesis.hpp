@@ -26,6 +26,8 @@ namespace spiv::lyap {
 enum class Method { EqSmt, EqNum, Modal, Lmi, LmiAlpha, LmiAlphaPlus };
 
 [[nodiscard]] std::string to_string(Method m);
+/// Inverse of to_string ("eq-smt", "LMIa+", ...); nullopt for unknown names.
+[[nodiscard]] std::optional<Method> method_from_string(const std::string& name);
 [[nodiscard]] bool is_lmi_method(Method m);
 
 struct SynthesisOptions {

@@ -1,5 +1,6 @@
 #include "model/serialize.hpp"
 
+#include <cmath>
 #include <iomanip>
 #include <istream>
 #include <ostream>
@@ -22,12 +23,23 @@ void write_matrix(std::ostream& os, const Matrix& m) {
   }
 }
 
+/// operator>> happily parses "nan"/"inf", which would silently poison every
+/// downstream computation on the model; reject them like truncated streams.
+double read_finite(std::istream& is, const char* what) {
+  double x = 0.0;
+  if (!(is >> x))
+    throw std::runtime_error(std::string{"serialize: truncated "} + what);
+  if (!std::isfinite(x))
+    throw std::runtime_error(std::string{"serialize: non-finite value in "} +
+                             what);
+  return x;
+}
+
 Matrix read_matrix(std::istream& is, std::size_t rows, std::size_t cols) {
   Matrix m{rows, cols};
   for (std::size_t i = 0; i < rows; ++i)
     for (std::size_t j = 0; j < cols; ++j)
-      if (!(is >> m(i, j)))
-        throw std::runtime_error("serialize: truncated matrix data");
+      m(i, j) = read_finite(is, "matrix data");
   return m;
 }
 
@@ -40,8 +52,7 @@ void expect_token(std::istream& is, const std::string& expected) {
 
 Vector read_vector(std::istream& is, std::size_t n) {
   Vector v(n);
-  for (auto& x : v)
-    if (!(is >> x)) throw std::runtime_error("serialize: truncated vector");
+  for (auto& x : v) x = read_finite(is, "vector");
   return v;
 }
 
@@ -146,7 +157,7 @@ BenchmarkModel read_case(std::istream& is) {
       expect_token(is, "g");
       guard.g = read_vector(is, p);
       expect_token(is, "h");
-      if (!(is >> guard.h)) throw std::runtime_error("serialize: bad h");
+      guard.h = read_finite(is, "guard constant h");
       expect_token(is, "h_r");
       guard.h_r = read_vector(is, p);
       expect_token(is, "strict");

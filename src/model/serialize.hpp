@@ -21,7 +21,8 @@
 //   references <p numbers>
 //
 // Numbers are written with 17 significant digits (round-trip exact for
-// doubles).
+// doubles).  Readers accept only finite numbers: "nan"/"inf" tokens raise
+// std::runtime_error instead of silently poisoning the model.
 #pragma once
 
 #include <iosfwd>

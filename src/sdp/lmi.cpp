@@ -58,6 +58,13 @@ std::string to_string(Backend b) {
   return "?";
 }
 
+std::optional<Backend> backend_from_string(const std::string& name) {
+  for (Backend b : {Backend::NewtonAnalyticCenter, Backend::FastInteriorPoint,
+                    Backend::ShortStepBarrier})
+    if (to_string(b) == name) return b;
+  return std::nullopt;
+}
+
 namespace {
 
 /// Strict positive-definiteness probe via Cholesky (cheap and robust).

@@ -67,6 +67,8 @@ enum class Backend {
 };
 
 [[nodiscard]] std::string to_string(Backend b);
+/// Inverse of to_string ("newton-ac", ...); nullopt for unknown names.
+[[nodiscard]] std::optional<Backend> backend_from_string(const std::string& name);
 
 struct LmiOptions {
   /// Stop as soon as every block's min eigenvalue exceeds this.

@@ -1,0 +1,250 @@
+#include "service/service.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "core/parallel.hpp"
+#include "model/serialize.hpp"
+#include "model/switched_pi.hpp"
+
+namespace spiv::service {
+
+namespace {
+
+/// One parsed `verify` line.
+struct VerifyRequest {
+  std::size_t id = 0;
+  std::string case_file;
+  std::size_t mode = 0;
+  lyap::Method method = lyap::Method::LmiAlpha;
+  std::optional<sdp::Backend> backend;
+  smt::Engine engine = smt::Engine::Sylvester;
+  int digits = 10;
+  double timeout_seconds = 60.0;
+};
+
+/// Serializes whole lines onto the response stream.
+class LineWriter {
+ public:
+  explicit LineWriter(std::ostream& out) : out_(out) {}
+  void write(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_ << line << "\n" << std::flush;
+  }
+
+ private:
+  std::ostream& out_;
+  std::mutex mutex_;
+};
+
+std::string result_prefix(const VerifyRequest& req) {
+  std::ostringstream os;
+  os << "result id=" << req.id;
+  return os.str();
+}
+
+std::string request_fields(const VerifyRequest& req, const std::string& key,
+                           const std::string& model_name) {
+  std::ostringstream os;
+  os << " key=" << (key.empty() ? "-" : key) << " model="
+     << (model_name.empty() ? "-" : model_name) << " mode=" << req.mode
+     << " method=" << lyap::to_string(req.method) << " backend="
+     << (req.backend ? sdp::to_string(*req.backend) : "-") << " engine="
+     << smt::to_string(req.engine) << " digits=" << req.digits;
+  return os.str();
+}
+
+std::string error_line(const VerifyRequest& req, const std::string& msg) {
+  return result_prefix(req) + " status=error cache=off" +
+         request_fields(req, "", "") + " msg=" + msg;
+}
+
+std::string seconds_field(const char* name, double s) {
+  std::ostringstream os;
+  os << " " << name << "=" << std::setprecision(17) << s;
+  return os.str();
+}
+
+/// The whole per-request pipeline: load case, close the loop, consult the
+/// store, compute on miss, insert, format one result line.
+std::string handle_verify(const VerifyRequest& req, store::CertStore* store,
+                          const CancelToken& token) {
+  model::BenchmarkModel bm;
+  {
+    std::ifstream in{req.case_file};
+    if (!in) return error_line(req, "cannot open case file " + req.case_file);
+    try {
+      bm = model::read_case(in);
+    } catch (const std::exception& e) {
+      return error_line(req, std::string{"case parse failed: "} + e.what());
+    }
+  }
+  if (req.mode >= bm.controller.num_modes()) {
+    std::ostringstream os;
+    os << "mode " << req.mode << " out of range (case has "
+       << bm.controller.num_modes() << " modes)";
+    return error_line(req, os.str());
+  }
+
+  store::CertRequest cert_req;
+  cert_req.a =
+      model::close_loop_single_mode(bm.plant, bm.controller.gains[req.mode]).a;
+  cert_req.method = req.method;
+  cert_req.backend = req.backend;
+  cert_req.engine = req.engine;
+  cert_req.digits = req.digits;
+  const std::string key = store::request_key(cert_req);
+
+  if (store) {
+    if (auto rec = store->lookup(key)) {
+      const char* status = rec->validation.valid() ? "valid" : "invalid";
+      return result_prefix(req) + " status=" + status + " cache=hit" +
+             request_fields(req, key, bm.name) +
+             seconds_field("synth_seconds", rec->candidate.synth_seconds) +
+             seconds_field("validate_seconds", rec->validation.seconds());
+    }
+  }
+
+  // Miss: run the full synthesize-then-validate pipeline.
+  lyap::SynthesisOptions options;
+  if (req.backend) options.backend = *req.backend;
+  options.deadline = Deadline::after_seconds(req.timeout_seconds, token);
+  std::optional<lyap::Candidate> candidate;
+  try {
+    candidate = lyap::synthesize(cert_req.a, req.method, options);
+  } catch (const TimeoutError&) {
+    return result_prefix(req) + " status=timeout cache=miss" +
+           request_fields(req, key, bm.name);
+  } catch (const std::exception& e) {
+    return error_line(req, std::string{"synthesis failed: "} + e.what());
+  }
+  if (!candidate)
+    return result_prefix(req) + " status=synth-failed cache=miss" +
+           request_fields(req, key, bm.name);
+
+  smt::CheckOptions check;
+  check.deadline = Deadline::after_seconds(req.timeout_seconds, token);
+  smt::LyapunovValidation validation;
+  try {
+    validation = smt::validate_lyapunov(cert_req.a, candidate->p, req.engine,
+                                        req.digits, check);
+  } catch (const std::exception& e) {
+    return error_line(req, std::string{"validation failed: "} + e.what());
+  }
+  const bool timed_out =
+      validation.positivity.outcome == smt::Outcome::Timeout ||
+      validation.decrease.outcome == smt::Outcome::Timeout;
+  const char* status =
+      timed_out ? "timeout" : (validation.valid() ? "valid" : "invalid");
+  if (store && !timed_out)
+    store->insert(key, store::CertRecord{*candidate, validation});
+  return result_prefix(req) + " status=" + status + " cache=" +
+         (store ? "miss" : "off") + request_fields(req, key, bm.name) +
+         seconds_field("synth_seconds", candidate->synth_seconds) +
+         seconds_field("validate_seconds", validation.seconds());
+}
+
+/// Parse one `verify` line (after the command token).  Returns an error
+/// message, or empty on success.
+std::string parse_verify(std::istringstream& is, VerifyRequest& req) {
+  std::string method, backend, engine;
+  if (!(is >> req.case_file >> req.mode >> method >> backend >> engine >>
+        req.digits))
+    return "usage: verify <case-file> <mode> <method> <backend|-> <engine> "
+           "<digits> [timeout_s]";
+  const auto m = lyap::method_from_string(method);
+  if (!m) return "unknown method '" + method + "'";
+  req.method = *m;
+  if (backend == "-") {
+    // LMI methods always run with *some* backend; pin the default one so
+    // `LMIa -` and `LMIa newton-ac` share one certificate.
+    req.backend = lyap::is_lmi_method(req.method)
+                      ? std::optional<sdp::Backend>{
+                            sdp::Backend::NewtonAnalyticCenter}
+                      : std::nullopt;
+  } else {
+    const auto b = sdp::backend_from_string(backend);
+    if (!b) return "unknown backend '" + backend + "'";
+    req.backend = lyap::is_lmi_method(req.method)
+                      ? std::optional<sdp::Backend>{*b}
+                      : std::nullopt;
+  }
+  const auto e = smt::engine_from_string(engine);
+  if (!e) return "unknown engine '" + engine + "'";
+  req.engine = *e;
+  if (req.digits < 0) return "digits must be >= 0";
+  double timeout = 0.0;
+  if (is >> timeout) {
+    if (!(timeout > 0.0)) return "timeout must be positive";
+    req.timeout_seconds = timeout;
+  }
+  return "";
+}
+
+}  // namespace
+
+int serve(std::istream& in, std::ostream& out, const ServeOptions& options) {
+  LineWriter writer{out};
+  core::JobPool pool{core::resolve_jobs(options.jobs)};
+  std::atomic<int> errors{0};
+  std::size_t next_id = 1;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream is{line};
+    std::string command;
+    if (!(is >> command) || command[0] == '#') continue;
+    if (command == "quit") break;
+    if (command == "wait") {
+      pool.wait_idle();
+      writer.write("idle");
+      continue;
+    }
+    if (command == "stats") {
+      std::ostringstream os;
+      os << "stats jobs=" << pool.thread_count();
+      if (options.store) {
+        const store::StoreStats s = options.store->stats();
+        os << " memory_hits=" << s.memory_hits << " disk_hits=" << s.disk_hits
+           << " misses=" << s.misses << " writes=" << s.writes;
+      } else {
+        os << " store=off";
+      }
+      writer.write(os.str());
+      continue;
+    }
+    if (command != "verify") {
+      writer.write("error unknown command '" + command + "'");
+      errors.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    VerifyRequest req;
+    req.id = next_id++;
+    req.timeout_seconds = options.default_timeout_seconds;
+    const std::string parse_error = parse_verify(is, req);
+    if (!parse_error.empty()) {
+      writer.write(error_line(req, parse_error));
+      errors.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    writer.write("queued id=" + std::to_string(req.id));
+    store::CertStore* store = options.store;
+    pool.submit([req, store, &pool, &writer, &errors] {
+      const std::string response = handle_verify(req, store, pool.token());
+      if (response.find(" status=error ") != std::string::npos)
+        errors.fetch_add(1, std::memory_order_relaxed);
+      writer.write(response);
+    });
+  }
+  pool.wait_idle();
+  return errors.load(std::memory_order_relaxed);
+}
+
+}  // namespace spiv::service

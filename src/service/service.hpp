@@ -1,0 +1,53 @@
+// spiv::service — the `spiv-serve` batch verification service.
+//
+// A line-oriented request protocol on an istream/ostream pair (the binary
+// wires it to stdin/stdout), designed so a fleet of engine configurations
+// can be verified without recompiling a bench binary:
+//
+//   verify <case-file> <mode> <method> <backend|-> <engine> <digits> [timeout_s]
+//   wait                       # barrier: block until all queued work is done
+//   stats                      # one line of store/pool counters
+//   quit                       # drain and exit
+//
+// Each syntactically valid `verify` is acknowledged immediately with
+// `queued id=N`, dispatched onto a core::JobPool with a per-request
+// Deadline bound to the pool's CancelToken, and answered asynchronously
+// with exactly one line:
+//
+//   result id=N status=<valid|invalid|timeout|synth-failed|error>
+//     cache=<hit|miss|off> key=<32 hex> model=<name> mode=<m>
+//     method=<name> backend=<name|-> engine=<name> digits=<d>
+//     synth_seconds=<s> validate_seconds=<s> [msg=<text>]
+//   (one physical line; wrapped here for readability)
+//
+// Warm requests are answered straight from the certificate store
+// (cache=hit) without invoking any synthesis kernel; misses are computed
+// and inserted, so the next identical request — from this process or any
+// later one sharing the cache directory — is served from disk.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "store/cert_store.hpp"
+
+namespace spiv::service {
+
+struct ServeOptions {
+  /// Worker threads for the request pool: 0 = $SPIV_JOBS (else
+  /// hardware_concurrency).
+  std::size_t jobs = 0;
+  /// Per-phase (synthesis / validation) budget when a request carries no
+  /// explicit timeout.
+  double default_timeout_seconds = 60.0;
+  /// Certificate store; nullptr disables caching (every request computes).
+  store::CertStore* store = nullptr;
+};
+
+/// Run the protocol until EOF or `quit`; returns the number of requests
+/// that ended in status=error (0 = clean run).  Thread-safe with respect to
+/// its own pool; `out` is written one complete line at a time.
+int serve(std::istream& in, std::ostream& out, const ServeOptions& options);
+
+}  // namespace spiv::service

@@ -1,0 +1,40 @@
+// spiv-serve: batch certificate verification over stdin/stdout.
+//
+//   SPIV_CACHE_DIR=cache ./build/src/service/spiv-serve [--jobs N] [--timeout S]
+//
+// Speaks the line protocol documented in service/service.hpp; see
+// EXPERIMENTS.md ("Certificate cache & service") for a worked example.
+// The certificate store is enabled by $SPIV_CACHE_DIR; without it every
+// request recomputes.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "service/service.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spiv;
+  service::ServeOptions options;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (!std::strcmp(argv[i], "--jobs")) {
+      options.jobs = static_cast<std::size_t>(std::atol(argv[i + 1]));
+    } else if (!std::strcmp(argv[i], "--timeout")) {
+      options.default_timeout_seconds = std::atof(argv[i + 1]);
+      if (options.default_timeout_seconds <= 0.0) {
+        std::fprintf(stderr, "invalid --timeout %s\n", argv[i + 1]);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--jobs N] [--timeout SECONDS]\n"
+                   "protocol: verify <case-file> <mode> <method> <backend|-> "
+                   "<engine> <digits> [timeout_s] | wait | stats | quit\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  options.store = store::CertStore::from_env();
+  const int errors = service::serve(std::cin, std::cout, options);
+  return errors == 0 ? 0 : 1;
+}

@@ -22,6 +22,13 @@ std::string to_string(Engine e) {
   return "?";
 }
 
+std::optional<Engine> engine_from_string(const std::string& name) {
+  for (Engine e : {Engine::Sylvester, Engine::SympyGauss, Engine::Ldlt,
+                   Engine::SmtZ3Style, Engine::SmtCvc5Style})
+    if (to_string(e) == name) return e;
+  return std::nullopt;
+}
+
 namespace {
 
 /// Incremental Sylvester criterion with early exit: eliminates without row

@@ -47,6 +47,8 @@ enum class Engine {
 };
 
 [[nodiscard]] std::string to_string(Engine e);
+/// Inverse of to_string ("sylvester", ...); nullopt for unknown names.
+[[nodiscard]] std::optional<Engine> engine_from_string(const std::string& name);
 
 struct CheckOptions {
   bool det_encoding = false;  ///< the paper's "+det" reformulation

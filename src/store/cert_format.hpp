@@ -1,0 +1,52 @@
+// spiv::store — the on-disk `spiv-cert v1` certificate format.
+//
+// A certificate bundles everything the harness learned about one request:
+// the synthesized candidate (including, for eq-smt, the exact rational
+// solution as numerator/denominator pairs), both exact validation verdicts
+// with their witnesses, and the timing metadata.  The format extends the
+// `model/serialize` idiom — line-oriented plain text, 17-significant-digit
+// doubles (round-trip exact), exact rationals as `num/den` tokens — and
+// ends with a checksum line over every preceding byte:
+//
+//   spiv-cert v1
+//   key <32 hex chars>
+//   method LMIa
+//   synth_seconds 0.12345678901234567
+//   p 3 3
+//   <3 rows of 3 doubles>
+//   exact_p none                  # or `exact_p 3 3` + 9 num/den tokens
+//   positivity valid seconds 0.001 witness none
+//   decrease invalid seconds 0.002 witness 3
+//   <3 num/den tokens>
+//   checksum <16 hex chars>
+//
+// Readers throw std::runtime_error on any structural damage — bad magic,
+// truncation, non-finite numbers, checksum mismatch, key mismatch.  The
+// store treats every such throw as a cache miss (recompute), never a crash.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "lyapunov/synthesis.hpp"
+#include "smt/validate.hpp"
+
+namespace spiv::store {
+
+/// One stored certificate: candidate + verdicts + timings.
+struct CertRecord {
+  lyap::Candidate candidate;
+  smt::LyapunovValidation validation;
+};
+
+/// Serialize a record (checksum line included).
+[[nodiscard]] std::string cert_to_string(const std::string& key,
+                                         const CertRecord& record);
+
+/// Parse and fully verify a certificate: magic/version, checksum over the
+/// body, and — when `expected_key` is nonempty — the embedded key.  Throws
+/// std::runtime_error on any mismatch.
+[[nodiscard]] CertRecord cert_from_string(const std::string& text,
+                                          const std::string& expected_key = "");
+
+}  // namespace spiv::store

@@ -1,0 +1,49 @@
+#include "store/cert_key.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace spiv::store {
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kPrime;
+  }
+  return h;
+}
+
+std::string canonical_request_bytes(const CertRequest& request) {
+  std::ostringstream os;
+  os << "spiv-req v1\n";
+  os << "method " << lyap::to_string(request.method) << " backend "
+     << (request.backend ? sdp::to_string(*request.backend) : "-")
+     << " engine " << smt::to_string(request.engine) << " digits "
+     << request.digits << "\n";
+  os << "a " << request.a.rows() << " " << request.a.cols() << "\n";
+  os << std::setprecision(17);
+  for (std::size_t i = 0; i < request.a.rows(); ++i) {
+    for (std::size_t j = 0; j < request.a.cols(); ++j)
+      os << request.a(i, j) << (j + 1 == request.a.cols() ? "" : " ");
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string request_key(const CertRequest& request) {
+  const std::string bytes = canonical_request_bytes(request);
+  // Two independent lanes: the second seed is the FNV offset basis xored
+  // with a 64-bit odd constant, giving a 128-bit key whose collision odds
+  // are negligible for any realistic store size.
+  const std::uint64_t lo = fnv1a64(bytes);
+  const std::uint64_t hi =
+      fnv1a64(bytes, 14695981039346656037ull ^ 0x9e3779b97f4a7c15ull);
+  std::ostringstream os;
+  os << std::hex << std::setfill('0') << std::setw(16) << hi << std::setw(16)
+     << lo;
+  return os.str();
+}
+
+}  // namespace spiv::store

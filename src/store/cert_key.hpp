@@ -1,0 +1,48 @@
+// spiv::store — content addressing of verification requests.
+//
+// A verification request is fully determined by (mode dynamics matrix A,
+// synthesis method, SDP backend, rounding digits, validation engine): the
+// whole pipeline downstream of those inputs is deterministic, so the exact
+// validation verdict of §VI-B1 is a *reusable certificate*.  This module
+// defines the canonical byte serialization of a request and a 128-bit hash
+// over those bytes that keys the certificate store (store/cert_store.hpp).
+//
+// The canonical bytes are a plain-text `spiv-req v1` block with 17-digit
+// doubles (round-trip exact), so two requests collide iff their matrices
+// are bit-identical and their options equal — no float normalization games.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "lyapunov/synthesis.hpp"
+#include "numeric/matrix.hpp"
+#include "sdp/lmi.hpp"
+#include "smt/validate.hpp"
+
+namespace spiv::store {
+
+/// Everything that determines a verification result.
+struct CertRequest {
+  numeric::Matrix a;  ///< closed-loop mode dynamics matrix
+  lyap::Method method = lyap::Method::EqNum;
+  std::optional<sdp::Backend> backend;  ///< LMI methods only
+  smt::Engine engine = smt::Engine::Sylvester;
+  int digits = 10;  ///< rounding before exact validation
+};
+
+/// FNV-1a over `bytes` starting from `seed` (pass a different seed to get an
+/// independent hash lane).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes,
+                                    std::uint64_t seed = 14695981039346656037ull);
+
+/// The canonical `spiv-req v1` serialization of a request.
+[[nodiscard]] std::string canonical_request_bytes(const CertRequest& request);
+
+/// 128-bit content key: 32 lowercase hex characters (two independent FNV-1a
+/// lanes over the canonical bytes).
+[[nodiscard]] std::string request_key(const CertRequest& request);
+
+}  // namespace spiv::store

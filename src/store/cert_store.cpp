@@ -1,0 +1,143 @@
+#include "store/cert_store.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+namespace spiv::store {
+
+namespace fs = std::filesystem;
+
+CertStore::CertStore(std::string dir, std::size_t memory_capacity)
+    : dir_(std::move(dir)),
+      shard_capacity_(std::max<std::size_t>(1, memory_capacity / kShards)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_))
+    throw std::runtime_error("cert store: cannot create cache directory '" +
+                             dir_ + "'");
+}
+
+std::string CertStore::path_for(const std::string& key) const {
+  return (fs::path(dir_) / (key + ".spivcert")).string();
+}
+
+CertStore::Shard& CertStore::shard_for(const std::string& key) {
+  // Keys are hex strings of a uniform hash; the last nibble is as good a
+  // shard index as any.
+  const char c = key.empty() ? '0' : key.back();
+  const std::size_t nibble =
+      c >= 'a' ? static_cast<std::size_t>(c - 'a' + 10)
+               : static_cast<std::size_t>(c - '0');
+  return shards_[nibble % kShards];
+}
+
+void CertStore::remember(const std::string& key,
+                         std::shared_ptr<const CertRecord> rec) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  shard.lru.emplace_front(key, std::move(rec));
+  shard.index[key] = shard.lru.begin();
+  while (shard.lru.size() > shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+  }
+}
+
+std::optional<CertRecord> CertStore::lookup(const std::string& key) {
+  // Memory tier.
+  {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      memory_hits_.fetch_add(1, std::memory_order_relaxed);
+      return *it->second->second;
+    }
+  }
+  // Disk tier (no shard lock held across I/O).
+  std::ifstream in{path_for(key), std::ios::binary};
+  if (!in) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    auto rec = std::make_shared<const CertRecord>(
+        cert_from_string(buf.str(), key));
+    disk_hits_.fetch_add(1, std::memory_order_relaxed);
+    CertRecord copy = *rec;
+    remember(key, std::move(rec));
+    return copy;
+  } catch (const std::exception&) {
+    // Corrupt / truncated / version-mismatched entry: a miss, not an error.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+}
+
+void CertStore::insert(const std::string& key, const CertRecord& record) {
+  const std::string text = cert_to_string(key, record);
+  // Unique temp name per writer so racing inserts never clobber each
+  // other's in-flight bytes; the final rename is atomic within dir_.
+  static std::atomic<std::uint64_t> counter{0};
+  std::ostringstream tmp_name;
+  tmp_name << key << ".tmp." << std::hash<std::thread::id>{}(
+                  std::this_thread::get_id())
+           << "." << counter.fetch_add(1, std::memory_order_relaxed);
+  const fs::path tmp = fs::path(dir_) / tmp_name.str();
+  {
+    std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
+    if (!out) return;  // read-only cache dir: degrade to memory-only
+    out << text;
+    if (!out.flush()) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path_for(key), ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return;
+  }
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  remember(key, std::make_shared<const CertRecord>(record));
+}
+
+StoreStats CertStore::stats() const {
+  StoreStats s;
+  s.memory_hits = memory_hits_.load(std::memory_order_relaxed);
+  s.disk_hits = disk_hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.writes = writes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+CertStore* CertStore::from_env() {
+  static std::unique_ptr<CertStore> store = [] {
+    const char* dir = std::getenv("SPIV_CACHE_DIR");
+    if (!dir || !*dir) return std::unique_ptr<CertStore>{};
+    try {
+      return std::make_unique<CertStore>(dir);
+    } catch (const std::exception& e) {
+      std::cerr << "spiv: certificate cache disabled: " << e.what() << "\n";
+      return std::unique_ptr<CertStore>{};
+    }
+  }();
+  return store.get();
+}
+
+}  // namespace spiv::store

@@ -1,0 +1,99 @@
+// spiv::store — persistent, content-addressed certificate store.
+//
+// Layout: one `spiv-cert v1` file per request key under a cache directory
+// (`<dir>/<32-hex-key>.spivcert`).  Writes go through a temp file in the
+// same directory followed by an atomic rename, so concurrent writers and
+// crashed runs can never leave a half-written certificate under a live key.
+// Reads verify the checksum and the embedded key; any damage — truncation,
+// corruption, version mismatch — is a cache miss that triggers recompute,
+// never a crash.
+//
+// An in-memory sharded-mutex LRU fronts the disk: JobPool workers hammering
+// the store concurrently only contend on their key's shard, and repeated
+// hits on hot certificates skip the filesystem entirely.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "store/cert_format.hpp"
+#include "store/cert_key.hpp"
+
+namespace spiv::store {
+
+/// Hit/miss counters (monotonic, relaxed; exact under any interleaving).
+struct StoreStats {
+  std::uint64_t memory_hits = 0;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writes = 0;
+  [[nodiscard]] std::uint64_t hits() const { return memory_hits + disk_hits; }
+};
+
+class CertStore {
+ public:
+  /// Opens (and creates, if needed) the cache directory.  `memory_capacity`
+  /// bounds the total number of certificates kept in RAM across all shards.
+  /// Throws std::runtime_error when the directory cannot be created.
+  explicit CertStore(std::string dir, std::size_t memory_capacity = 1024);
+
+  CertStore(const CertStore&) = delete;
+  CertStore& operator=(const CertStore&) = delete;
+
+  /// Look a certificate up by key: memory first, then disk (which also
+  /// warms the memory tier).  Returns nullopt on miss or damaged entry.
+  [[nodiscard]] std::optional<CertRecord> lookup(const std::string& key);
+
+  /// Persist a certificate (atomic write) and warm the memory tier.
+  /// Concurrent inserts under one key are safe: renames are atomic and all
+  /// writers of a key serialize identical bytes.
+  void insert(const std::string& key, const CertRecord& record);
+
+  /// Convenience: request_key + lookup/insert.
+  [[nodiscard]] std::optional<CertRecord> lookup(const CertRequest& request) {
+    return lookup(request_key(request));
+  }
+  void insert(const CertRequest& request, const CertRecord& record) {
+    insert(request_key(request), record);
+  }
+
+  [[nodiscard]] const std::string& directory() const { return dir_; }
+  [[nodiscard]] std::string path_for(const std::string& key) const;
+  [[nodiscard]] StoreStats stats() const;
+
+  /// Process-wide store configured by $SPIV_CACHE_DIR; nullptr when the
+  /// variable is unset or empty (caching disabled) or the directory cannot
+  /// be created (a one-line stderr warning is printed in that case).
+  [[nodiscard]] static CertStore* from_env();
+
+ private:
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    std::mutex mutex;
+    /// Front = most recently used.  The list owns the records; the map
+    /// indexes them by key.
+    std::list<std::pair<std::string, std::shared_ptr<const CertRecord>>> lru;
+    std::unordered_map<std::string, decltype(lru)::iterator> index;
+  };
+
+  [[nodiscard]] Shard& shard_for(const std::string& key);
+  void remember(const std::string& key, std::shared_ptr<const CertRecord> rec);
+
+  std::string dir_;
+  std::size_t shard_capacity_;
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::uint64_t> memory_hits_{0};
+  std::atomic<std::uint64_t> disk_hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> writes_{0};
+};
+
+}  // namespace spiv::store

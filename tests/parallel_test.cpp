@@ -73,6 +73,41 @@ TEST(ResolveJobs, FallsBackOnBadOrMissingEnv) {
   }
 }
 
+TEST(ResolveJobs, RejectsPartialParses) {
+  // strtol used to stop at the first non-digit and hand back 4.
+  const std::size_t fallback = [] {
+    ScopedEnv env{"SPIV_JOBS", nullptr};
+    return resolve_jobs();
+  }();
+  for (const char* bad : {"4abc", "2 2", "3.5", "+", "-7", "0x10"}) {
+    ScopedEnv env{"SPIV_JOBS", bad};
+    EXPECT_EQ(resolve_jobs(), fallback) << bad;
+  }
+}
+
+TEST(ResolveJobs, CapsAbsurdValues) {
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const std::size_t cap = 8 * (hw_raw > 0 ? hw_raw : 1);
+  {
+    ScopedEnv env{"SPIV_JOBS", "1000000"};
+    EXPECT_EQ(resolve_jobs(), cap);
+  }
+  {
+    ScopedEnv env{"SPIV_JOBS", "99999999999999999999"};  // out of long range
+    const std::size_t fallback = [] {
+      ScopedEnv inner{"SPIV_JOBS", nullptr};
+      return resolve_jobs();
+    }();
+    EXPECT_EQ(resolve_jobs(), fallback);
+  }
+  {
+    // In-range values still pass through untouched.
+    const std::string cap_str = std::to_string(cap);
+    ScopedEnv env{"SPIV_JOBS", cap_str.c_str()};
+    EXPECT_EQ(resolve_jobs(), cap);
+  }
+}
+
 TEST(JobPool, RunsEveryJobAcrossThreads) {
   constexpr std::size_t kJobs = 200;
   std::vector<int> hits(kJobs, 0);

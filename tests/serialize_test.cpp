@@ -65,5 +65,41 @@ TEST(Serialize, RejectsMalformedInput) {
   EXPECT_THROW(read_state_space(bad_header), std::runtime_error);
 }
 
+TEST(Serialize, RejectsNonFiniteNumbers) {
+  // operator>> accepts "nan"/"inf" tokens; a poisoned A matrix would make
+  // every downstream synthesis/validation silently wrong.
+  const auto plant_with = [](const std::string& entry) {
+    return "plant 1 1 1\nA\n" + entry + "\nB\n1\nC\n1\n";
+  };
+  for (const std::string bad : {"nan", "inf", "-inf", "NaN", "Inf"}) {
+    std::istringstream is{plant_with(bad)};
+    EXPECT_THROW(
+        {
+          StateSpace sys = read_state_space(is);
+          (void)sys;
+        },
+        std::runtime_error)
+        << bad;
+  }
+  // Control: the same stream with a finite entry parses fine.
+  std::istringstream ok{plant_with("-1.5")};
+  EXPECT_EQ(read_state_space(ok).a(0, 0), -1.5);
+
+  // Non-finite values are rejected everywhere, not just in matrices: here
+  // in the references vector and a guard constant of a full case.
+  std::string full =
+      "spiv-case v1\nname t size 1 integer 0\n"
+      "plant 1 1 1\nA\n-1\nB\n1\nC\n1\n"
+      "controller 1\nmode\nKP\n1\nKI\n1\n"
+      "guards 1\ng 1 h nan h_r 0 strict 0\n"
+      "references 0\n";
+  std::istringstream bad_guard{full};
+  EXPECT_THROW(read_case(bad_guard), std::runtime_error);
+  full.replace(full.find("nan"), 3, "0.5");
+  full.replace(full.rfind("references 0"), 12, "references inf");
+  std::istringstream bad_ref{full};
+  EXPECT_THROW(read_case(bad_ref), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace spiv::model

@@ -1,0 +1,179 @@
+// Tests for the spiv-serve protocol: parse errors, cold-then-warm verify
+// through the certificate store, and the guarantee that a warm request is
+// answered from the store without invoking any synthesis kernel.
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "model/reduction.hpp"
+#include "model/serialize.hpp"
+
+namespace spiv::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("spiv_service_test_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    // Export the size-3 benchmark case once.
+    for (const auto& bm : model::benchmark_family())
+      if (bm.name == "size3") {
+        std::ofstream out{case_path()};
+        model::write_case(out, bm);
+        break;
+      }
+    ASSERT_TRUE(fs::exists(case_path()));
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  [[nodiscard]] std::string case_path() const {
+    return (dir_ / "size3.spivcase").string();
+  }
+  [[nodiscard]] std::string cache_path() const {
+    return (dir_ / "cache").string();
+  }
+
+  /// Drive the protocol and return the full response transcript.
+  std::string drive(const std::string& script, store::CertStore* store,
+                    int* errors = nullptr) {
+    ServeOptions options;
+    options.jobs = 2;
+    options.default_timeout_seconds = 30.0;
+    options.store = store;
+    std::istringstream in{script};
+    std::ostringstream out;
+    const int e = serve(in, out, options);
+    if (errors) *errors = e;
+    return out.str();
+  }
+
+  /// The `result id=N ...` line of the transcript.
+  static std::string result_line(const std::string& transcript,
+                                 std::size_t id) {
+    std::istringstream is{transcript};
+    const std::string prefix = "result id=" + std::to_string(id) + " ";
+    std::string line;
+    while (std::getline(is, line))
+      if (line.rfind(prefix, 0) == 0) return line;
+    return "";
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ServiceTest, RejectsMalformedRequests) {
+  int errors = 0;
+  const std::string transcript = drive(
+      "verify\n"
+      "verify missing.case 0 no-such-method - sylvester 10\n"
+      "verify missing.case 0 LMIa no-such-backend sylvester 10\n"
+      "verify missing.case 0 LMIa - no-such-engine 10\n"
+      "frobnicate\n"
+      "quit\n",
+      nullptr, &errors);
+  EXPECT_EQ(errors, 5);
+  EXPECT_NE(result_line(transcript, 1).find("status=error"), std::string::npos);
+  EXPECT_NE(result_line(transcript, 2).find("unknown method"),
+            std::string::npos);
+  EXPECT_NE(result_line(transcript, 3).find("unknown backend"),
+            std::string::npos);
+  EXPECT_NE(result_line(transcript, 4).find("unknown engine"),
+            std::string::npos);
+  EXPECT_NE(transcript.find("error unknown command"), std::string::npos);
+}
+
+TEST_F(ServiceTest, ReportsMissingCaseFileAsError) {
+  int errors = 0;
+  const std::string transcript = drive(
+      "verify /nonexistent/case 0 LMIa newton-ac sylvester 10\nquit\n",
+      nullptr, &errors);
+  EXPECT_EQ(errors, 1);
+  const std::string line = result_line(transcript, 1);
+  EXPECT_NE(line.find("status=error"), std::string::npos);
+  EXPECT_NE(line.find("cannot open case file"), std::string::npos);
+}
+
+TEST_F(ServiceTest, VerifiesWithoutStore) {
+  const std::string transcript = drive(
+      "verify " + case_path() + " 0 LMIa newton-ac sylvester 10\nquit\n",
+      nullptr);
+  const std::string line = result_line(transcript, 1);
+  EXPECT_NE(line.find("status=valid"), std::string::npos) << line;
+  EXPECT_NE(line.find("cache=off"), std::string::npos) << line;
+  EXPECT_NE(line.find("model=size3"), std::string::npos) << line;
+}
+
+TEST_F(ServiceTest, ColdMissThenWarmHitThroughTheStore) {
+  store::CertStore store{cache_path()};
+  // `wait` sequences the two requests so the second observes the first's
+  // certificate; both modes exercise the store under one key each.
+  const std::string transcript = drive(
+      "verify " + case_path() + " 0 LMIa newton-ac sylvester 10\n" +
+          "wait\n" +
+          "verify " + case_path() + " 0 LMIa newton-ac sylvester 10\n" +
+          "stats\nquit\n",
+      &store);
+  const std::string cold = result_line(transcript, 1);
+  const std::string warm = result_line(transcript, 2);
+  EXPECT_NE(cold.find("status=valid"), std::string::npos) << cold;
+  EXPECT_NE(cold.find("cache=miss"), std::string::npos) << cold;
+  EXPECT_NE(warm.find("status=valid"), std::string::npos) << warm;
+  EXPECT_NE(warm.find("cache=hit"), std::string::npos) << warm;
+  EXPECT_NE(transcript.find("idle"), std::string::npos);
+
+  // Cold and warm agree on the recorded timings (replayed, not re-measured).
+  const auto field = [](const std::string& line, const std::string& name) {
+    const std::size_t pos = line.find(" " + name + "=");
+    return line.substr(pos + name.size() + 2,
+                       line.find(' ', pos + 1 + name.size() + 2) -
+                           (pos + name.size() + 2));
+  };
+  EXPECT_EQ(field(cold, "synth_seconds"), field(warm, "synth_seconds"));
+  EXPECT_EQ(field(cold, "key"), field(warm, "key"));
+}
+
+TEST_F(ServiceTest, WarmRequestNeverInvokesSynthesisKernel) {
+  store::CertStore store{cache_path()};
+  // Warm the store.
+  drive("verify " + case_path() + " 0 LMIa newton-ac sylvester 10\nquit\n",
+        &store);
+  ASSERT_EQ(store.stats().writes, 1u);
+  // A 1 ms budget is far below any synthesis kernel's runtime: the request
+  // can only answer `valid` if it was served from the store without
+  // touching the kernels at all.
+  const std::string transcript = drive(
+      "verify " + case_path() + " 0 LMIa newton-ac sylvester 10 0.001\nquit\n",
+      &store);
+  const std::string line = result_line(transcript, 1);
+  EXPECT_NE(line.find("status=valid"), std::string::npos) << line;
+  EXPECT_NE(line.find("cache=hit"), std::string::npos) << line;
+}
+
+TEST_F(ServiceTest, StatsLineReflectsStoreCounters) {
+  store::CertStore store{cache_path()};
+  const std::string transcript = drive(
+      "verify " + case_path() + " 0 eq-num - sylvester 10\n" +
+          "wait\nstats\nquit\n",
+      &store);
+  EXPECT_NE(transcript.find("stats jobs=2"), std::string::npos);
+  EXPECT_NE(transcript.find("writes=1"), std::string::npos);
+  const std::string no_store = drive("stats\nquit\n", nullptr);
+  EXPECT_NE(no_store.find("store=off"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spiv::service

@@ -1,0 +1,285 @@
+// Tests for the content-addressed certificate store: request keys, the
+// spiv-cert v1 format (exact round-trip including rational exact_p),
+// corruption handling (miss, never crash), the LRU tiers, and the JobPool
+// concurrency contract (N workers racing one key produce exactly one entry
+// and identical results).
+#include "store/cert_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "core/parallel.hpp"
+
+namespace spiv::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh temp directory per test, removed on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    dir_ = fs::temp_directory_path() /
+           ("spiv_store_test_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  [[nodiscard]] std::string path() const { return dir_.string(); }
+
+ private:
+  fs::path dir_;
+};
+
+CertRequest sample_request(double seed = 1.0) {
+  CertRequest req;
+  req.a = numeric::Matrix{{-2.0 * seed, 1.0}, {0.25, -3.0}};
+  req.method = lyap::Method::LmiAlpha;
+  req.backend = sdp::Backend::NewtonAnalyticCenter;
+  req.engine = smt::Engine::Sylvester;
+  req.digits = 10;
+  return req;
+}
+
+/// A record with every optional field populated: exact_p with non-trivial
+/// rationals, an Invalid verdict carrying a witness.
+CertRecord sample_record() {
+  CertRecord rec;
+  rec.candidate.method = lyap::Method::EqSmt;
+  rec.candidate.p = numeric::Matrix{{0.30000000000000004, -1e-17},
+                                    {-1e-17, 12345.678901234567}};
+  rec.candidate.synth_seconds = 0.012345678901234567;
+  exact::RatMatrix ep{2, 2};
+  ep(0, 0) = exact::Rational{exact::BigInt{"123456789012345678901234567890"},
+                             exact::BigInt{"987654321098765432109876543217"}};
+  ep(0, 1) = exact::Rational{-7, 3};
+  ep(1, 0) = exact::Rational{-7, 3};
+  ep(1, 1) = exact::Rational::from_double_exact(0.1);
+  rec.candidate.exact_p = std::move(ep);
+  rec.validation.positivity.outcome = smt::Outcome::Valid;
+  rec.validation.positivity.seconds = 0.001220703125;
+  rec.validation.decrease.outcome = smt::Outcome::Invalid;
+  rec.validation.decrease.seconds = 7.0000000000000001e-05;
+  rec.validation.decrease.witness = std::vector<exact::Rational>{
+      exact::Rational{1, 1}, exact::Rational{-355, 113}};
+  return rec;
+}
+
+void expect_records_equal(const CertRecord& a, const CertRecord& b) {
+  EXPECT_EQ(a.candidate.method, b.candidate.method);
+  EXPECT_EQ(a.candidate.p.rows(), b.candidate.p.rows());
+  EXPECT_EQ(a.candidate.p.data(), b.candidate.p.data());  // bit-exact doubles
+  EXPECT_EQ(a.candidate.synth_seconds, b.candidate.synth_seconds);
+  ASSERT_EQ(a.candidate.exact_p.has_value(), b.candidate.exact_p.has_value());
+  if (a.candidate.exact_p)
+    EXPECT_EQ(*a.candidate.exact_p, *b.candidate.exact_p);  // exact rationals
+  EXPECT_EQ(a.validation.positivity.outcome, b.validation.positivity.outcome);
+  EXPECT_EQ(a.validation.positivity.seconds, b.validation.positivity.seconds);
+  EXPECT_EQ(a.validation.decrease.outcome, b.validation.decrease.outcome);
+  EXPECT_EQ(a.validation.decrease.seconds, b.validation.decrease.seconds);
+  ASSERT_EQ(a.validation.decrease.witness.has_value(),
+            b.validation.decrease.witness.has_value());
+  if (a.validation.decrease.witness)
+    EXPECT_EQ(*a.validation.decrease.witness, *b.validation.decrease.witness);
+}
+
+// ---------------------------------------------------------------- keys
+
+TEST(CertKey, DeterministicAndSensitiveToEveryField) {
+  const CertRequest base = sample_request();
+  const std::string key = request_key(base);
+  EXPECT_EQ(key.size(), 32u);
+  EXPECT_EQ(key, request_key(base));  // deterministic
+
+  CertRequest other = base;
+  other.digits = 6;
+  EXPECT_NE(request_key(other), key);
+  other = base;
+  other.engine = smt::Engine::Ldlt;
+  EXPECT_NE(request_key(other), key);
+  other = base;
+  other.method = lyap::Method::Lmi;
+  EXPECT_NE(request_key(other), key);
+  other = base;
+  other.backend = std::nullopt;
+  EXPECT_NE(request_key(other), key);
+  other = base;
+  other.a(0, 0) = std::nextafter(other.a(0, 0), 0.0);  // one ulp
+  EXPECT_NE(request_key(other), key);
+}
+
+// -------------------------------------------------------------- format
+
+TEST(CertFormat, ExactRoundTripIncludingRationalExactP) {
+  const CertRecord rec = sample_record();
+  const std::string key = request_key(sample_request());
+  const std::string text = cert_to_string(key, rec);
+  const CertRecord back = cert_from_string(text, key);
+  expect_records_equal(rec, back);
+}
+
+TEST(CertFormat, RoundTripWithoutOptionalFields) {
+  CertRecord rec;
+  rec.candidate.method = lyap::Method::Modal;
+  rec.candidate.p = numeric::Matrix{{1.0}};
+  rec.validation.positivity.outcome = smt::Outcome::Valid;
+  rec.validation.decrease.outcome = smt::Outcome::Valid;
+  const std::string text = cert_to_string("k", rec);
+  const CertRecord back = cert_from_string(text, "k");
+  expect_records_equal(rec, back);
+}
+
+TEST(CertFormat, RejectsDamage) {
+  const std::string key = request_key(sample_request());
+  const std::string good = cert_to_string(key, sample_record());
+
+  // Truncation (checksum line gone entirely).
+  EXPECT_THROW(cert_from_string(good.substr(0, good.size() / 2), key),
+               std::runtime_error);
+  // Flipped payload byte: checksum mismatch.
+  std::string corrupt = good;
+  corrupt[good.find("method") + 1] = 'X';
+  EXPECT_THROW(cert_from_string(corrupt, key), std::runtime_error);
+  // Wrong key.
+  EXPECT_THROW(cert_from_string(good, "deadbeef"), std::runtime_error);
+  // Version mismatch (re-checksummed so only the version is wrong).
+  std::string v2 = good;
+  v2.replace(v2.find("spiv-cert v1"), 12, "spiv-cert v2");
+  const std::string body = v2.substr(0, v2.rfind("checksum "));
+  std::ostringstream sum;
+  sum << "checksum " << std::hex << std::setfill('0') << std::setw(16)
+      << fnv1a64(body) << "\n";
+  EXPECT_THROW(cert_from_string(body + sum.str(), key), std::runtime_error);
+}
+
+// --------------------------------------------------------------- store
+
+TEST(CertStore, DiskRoundTripAcrossInstances) {
+  TempDir dir{"roundtrip"};
+  const std::string key = request_key(sample_request());
+  {
+    CertStore store{dir.path()};
+    EXPECT_FALSE(store.lookup(key).has_value());
+    store.insert(key, sample_record());
+    EXPECT_EQ(store.stats().writes, 1u);
+  }
+  CertStore fresh{dir.path()};  // cold memory tier: must come from disk
+  auto rec = fresh.lookup(key);
+  ASSERT_TRUE(rec.has_value());
+  expect_records_equal(sample_record(), *rec);
+  EXPECT_EQ(fresh.stats().disk_hits, 1u);
+  // Second lookup is served from memory.
+  EXPECT_TRUE(fresh.lookup(key).has_value());
+  EXPECT_EQ(fresh.stats().memory_hits, 1u);
+}
+
+TEST(CertStore, CorruptTruncatedAndMismatchedEntriesAreMisses) {
+  TempDir dir{"corrupt"};
+  const std::string key = request_key(sample_request());
+  CertStore writer{dir.path()};
+  writer.insert(key, sample_record());
+  const std::string path = writer.path_for(key);
+
+  const auto damaged_lookup = [&](const std::string& contents) {
+    std::ofstream out{path, std::ios::binary | std::ios::trunc};
+    out << contents;
+    out.close();
+    CertStore fresh{dir.path()};  // bypass the memory tier
+    return fresh.lookup(key);
+  };
+
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string good = buf.str();
+  in.close();
+
+  EXPECT_FALSE(damaged_lookup(good.substr(0, good.size() - 7)).has_value());
+  std::string flipped = good;
+  flipped[flipped.size() / 2] ^= 0x20;
+  EXPECT_FALSE(damaged_lookup(flipped).has_value());
+  EXPECT_FALSE(damaged_lookup("spiv-cert v7 garbage\n").has_value());
+  EXPECT_FALSE(damaged_lookup("").has_value());
+
+  // A fresh insert repairs the damaged entry.
+  {
+    std::ofstream out{path, std::ios::binary | std::ios::trunc};
+    out << "garbage";
+  }
+  CertStore repair{dir.path()};
+  EXPECT_FALSE(repair.lookup(key).has_value());
+  repair.insert(key, sample_record());
+  auto rec = repair.lookup(key);
+  ASSERT_TRUE(rec.has_value());
+  expect_records_equal(sample_record(), *rec);
+}
+
+TEST(CertStore, LruEvictionFallsBackToDisk) {
+  TempDir dir{"lru"};
+  // Capacity 16 total = 1 per shard: inserting several keys that land in
+  // one shard evicts all but the newest from memory, but disk still serves.
+  CertStore store{dir.path(), /*memory_capacity=*/16};
+  std::vector<std::string> keys;
+  for (int i = 0; i < 6; ++i)
+    keys.push_back(request_key(sample_request(1.0 + i)));
+  for (const auto& k : keys) store.insert(k, sample_record());
+  for (const auto& k : keys) EXPECT_TRUE(store.lookup(k).has_value()) << k;
+  const StoreStats s = store.stats();
+  EXPECT_EQ(s.memory_hits + s.disk_hits, keys.size());
+  EXPECT_EQ(s.misses, 0u);
+}
+
+// ---------------------------------------------------------- concurrency
+
+TEST(CertStore, WorkersRacingOneKeyProduceOneEntryAndIdenticalResults) {
+  TempDir dir{"race"};
+  CertStore store{dir.path()};
+  const std::string key = request_key(sample_request());
+  const CertRecord record = sample_record();
+  const std::string expected = cert_to_string(key, record);
+
+  constexpr std::size_t kWorkers = 8;
+  constexpr std::size_t kRounds = 25;
+  std::atomic<int> failures{0};
+  core::JobPool pool{kWorkers};
+  for (std::size_t w = 0; w < kWorkers; ++w)
+    pool.submit([&] {
+      for (std::size_t r = 0; r < kRounds; ++r) {
+        auto hit = store.lookup(key);
+        if (!hit) {
+          store.insert(key, record);  // racing inserts of identical bytes
+          hit = store.lookup(key);
+        }
+        if (!hit || cert_to_string(key, *hit) != expected)
+          failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  pool.wait_idle();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Exactly one store entry: every tmp file was renamed or removed.
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    ++files;
+    EXPECT_EQ(entry.path().filename().string(), key + ".spivcert");
+  }
+  EXPECT_EQ(files, 1u);
+
+  auto final_rec = store.lookup(key);
+  ASSERT_TRUE(final_rec.has_value());
+  expect_records_equal(record, *final_rec);
+}
+
+}  // namespace
+}  // namespace spiv::store
