@@ -109,14 +109,19 @@ Table1Result run_table1(const ExperimentConfig& config) {
                << " mode " << mc.mode << "\n";
           progress(config, line.str());
         }
-        store::CertRequest request;
+        lyap::SynthesisOptions options;
+        options.alpha = config.alpha;
+        options.nu = config.nu;
+        if (strategy.backend) options.backend = *strategy.backend;
         std::string key;
         if (cache) {
+          store::CertRequest request;
           request.a = mc.a;
           request.method = strategy.method;
           request.backend = strategy.backend;
           request.engine = smt::Engine::Sylvester;
           request.digits = config.digits;
+          request.set_synthesis_params(options);
           key = store::request_key(request);
           if (auto record = cache->lookup(key)) {
             out.synthesized = true;
@@ -126,10 +131,6 @@ Table1Result run_table1(const ExperimentConfig& config) {
             return;
           }
         }
-        lyap::SynthesisOptions options;
-        options.alpha = config.alpha;
-        options.nu = config.nu;
-        if (strategy.backend) options.backend = *strategy.backend;
         options.deadline =
             Deadline::after_seconds(config.synth_timeout_seconds, token);
         std::optional<lyap::Candidate> candidate;

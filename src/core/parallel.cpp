@@ -18,24 +18,42 @@ void warn_jobs_once(const std::string& message) {
   if (!warned.exchange(true)) std::cerr << "spiv: " << message << "\n";
 }
 
+/// Hardware thread count, never zero.
+std::size_t hardware_jobs() {
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  return hw_raw > 0 ? hw_raw : 1;
+}
+
+/// Oversubscribing a work-stealing pool beyond a few threads per core only
+/// adds contention; treat anything past 8x the hardware as a typo.
+std::size_t jobs_cap() { return 8 * hardware_jobs(); }
+
 }  // namespace
 
+std::optional<std::size_t> parse_jobs(const char* text) {
+  if (!text || *text == '\0') return std::nullopt;
+  // Require a full parse: "4abc" used to slip through strtol as 4.
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno != 0 || v <= 0)
+    return std::nullopt;
+  return static_cast<std::size_t>(v);
+}
+
 std::size_t resolve_jobs(std::size_t requested) {
-  if (requested > 0) return requested;
-  const unsigned hw_raw = std::thread::hardware_concurrency();
-  const std::size_t hw = hw_raw > 0 ? hw_raw : 1;
+  const std::size_t cap = jobs_cap();
+  if (requested > 0) {
+    if (requested <= cap) return requested;
+    warn_jobs_once("requested " + std::to_string(requested) +
+                   " jobs exceeds " + std::to_string(cap) +
+                   " (8x hardware_concurrency); using " + std::to_string(cap));
+    return cap;
+  }
+  const std::size_t hw = hardware_jobs();
   if (const char* env = std::getenv("SPIV_JOBS")) {
-    // Require a full parse: "4abc" used to slip through strtol as 4.
-    char* end = nullptr;
-    errno = 0;
-    const long v = std::strtol(env, &end, 10);
-    const bool fully_parsed = end != env && *end == '\0' && errno == 0;
-    // Oversubscribing a work-stealing pool beyond a few threads per core
-    // only adds contention; treat anything past 8x the hardware as a typo.
-    const std::size_t cap = 8 * hw;
-    if (fully_parsed && v > 0) {
-      if (static_cast<unsigned long>(v) <= cap)
-        return static_cast<std::size_t>(v);
+    if (const std::optional<std::size_t> v = parse_jobs(env)) {
+      if (*v <= cap) return *v;
       warn_jobs_once("SPIV_JOBS=" + std::string{env} + " exceeds " +
                      std::to_string(cap) + " (8x hardware_concurrency); using " +
                      std::to_string(cap));

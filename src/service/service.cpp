@@ -93,6 +93,12 @@ std::string handle_verify(const VerifyRequest& req, store::CertStore* store,
     return error_line(req, os.str());
   }
 
+  // The synthesis options used on a miss, built up front so the cache key
+  // covers the exact alpha/nu/kappa the kernel would run with — a hit must
+  // never replay a certificate synthesized under different parameters.
+  lyap::SynthesisOptions options;
+  if (req.backend) options.backend = *req.backend;
+
   store::CertRequest cert_req;
   cert_req.a =
       model::close_loop_single_mode(bm.plant, bm.controller.gains[req.mode]).a;
@@ -100,6 +106,7 @@ std::string handle_verify(const VerifyRequest& req, store::CertStore* store,
   cert_req.backend = req.backend;
   cert_req.engine = req.engine;
   cert_req.digits = req.digits;
+  cert_req.set_synthesis_params(options);
   const std::string key = store::request_key(cert_req);
 
   if (store) {
@@ -113,8 +120,6 @@ std::string handle_verify(const VerifyRequest& req, store::CertStore* store,
   }
 
   // Miss: run the full synthesize-then-validate pipeline.
-  lyap::SynthesisOptions options;
-  if (req.backend) options.backend = *req.backend;
   options.deadline = Deadline::after_seconds(req.timeout_seconds, token);
   std::optional<lyap::Candidate> candidate;
   try {

@@ -10,27 +10,63 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 
+#include "core/parallel.hpp"
 #include "service/service.hpp"
+
+namespace {
+
+void print_usage(std::FILE* to, const char* prog) {
+  std::fprintf(to,
+               "usage: %s [--jobs N] [--timeout SECONDS]\n"
+               "protocol: verify <case-file> <mode> <method> <backend|-> "
+               "<engine> <digits> [timeout_s] | wait | stats | quit\n",
+               prog);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace spiv;
   service::ServeOptions options;
-  for (int i = 1; i + 1 < argc; i += 2) {
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      print_usage(stdout, argv[0]);
+      return 0;
+    }
     if (!std::strcmp(argv[i], "--jobs")) {
-      options.jobs = static_cast<std::size_t>(std::atol(argv[i + 1]));
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--jobs requires a value\n");
+        print_usage(stderr, argv[0]);
+        return 2;
+      }
+      // Strict parse + the same 8x hardware cap as $SPIV_JOBS (resolve_jobs
+      // clamps oversized explicit requests with a stderr warning).
+      const std::optional<std::size_t> jobs = core::parse_jobs(argv[++i]);
+      if (!jobs) {
+        std::fprintf(stderr, "invalid --jobs '%s' (must be a positive integer)\n",
+                     argv[i]);
+        return 2;
+      }
+      options.jobs = core::resolve_jobs(*jobs);
     } else if (!std::strcmp(argv[i], "--timeout")) {
-      options.default_timeout_seconds = std::atof(argv[i + 1]);
-      if (options.default_timeout_seconds <= 0.0) {
-        std::fprintf(stderr, "invalid --timeout %s\n", argv[i + 1]);
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--timeout requires a value\n");
+        print_usage(stderr, argv[0]);
+        return 2;
+      }
+      char* end = nullptr;
+      options.default_timeout_seconds = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' ||
+          !(options.default_timeout_seconds > 0.0)) {
+        std::fprintf(stderr, "invalid --timeout '%s' (must be positive seconds)\n",
+                     argv[i]);
         return 2;
       }
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--jobs N] [--timeout SECONDS]\n"
-                   "protocol: verify <case-file> <mode> <method> <backend|-> "
-                   "<engine> <digits> [timeout_s] | wait | stats | quit\n",
-                   argv[0]);
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+      print_usage(stderr, argv[0]);
       return 2;
     }
   }

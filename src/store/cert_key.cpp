@@ -17,11 +17,17 @@ std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed) {
 
 std::string canonical_request_bytes(const CertRequest& request) {
   std::ostringstream os;
-  os << "spiv-req v1\n";
+  os << "spiv-req v2\n";
   os << "method " << lyap::to_string(request.method) << " backend "
      << (request.backend ? sdp::to_string(*request.backend) : "-")
      << " engine " << smt::to_string(request.engine) << " digits "
      << request.digits << "\n";
+  // Synthesis parameters shape the result only for the LMI methods;
+  // omitting them elsewhere lets eq-smt/eq-num/modal certificates be
+  // shared across alpha/nu/kappa sweeps.
+  if (lyap::is_lmi_method(request.method))
+    os << std::setprecision(17) << "alpha " << request.alpha << " nu "
+       << request.nu << " kappa " << request.kappa << "\n";
   os << "a " << request.a.rows() << " " << request.a.cols() << "\n";
   os << std::setprecision(17);
   for (std::size_t i = 0; i < request.a.rows(); ++i) {

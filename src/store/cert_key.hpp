@@ -1,15 +1,19 @@
 // spiv::store — content addressing of verification requests.
 //
 // A verification request is fully determined by (mode dynamics matrix A,
-// synthesis method, SDP backend, rounding digits, validation engine): the
-// whole pipeline downstream of those inputs is deterministic, so the exact
-// validation verdict of §VI-B1 is a *reusable certificate*.  This module
-// defines the canonical byte serialization of a request and a 128-bit hash
-// over those bytes that keys the certificate store (store/cert_store.hpp).
+// synthesis method, SDP backend, synthesis parameters alpha/nu/kappa for
+// the LMI methods, rounding digits, validation engine): the whole pipeline
+// downstream of those inputs is deterministic, so the exact validation
+// verdict of §VI-B1 is a *reusable certificate*.  This module defines the
+// canonical byte serialization of a request and a 128-bit hash over those
+// bytes that keys the certificate store (store/cert_store.hpp).
 //
-// The canonical bytes are a plain-text `spiv-req v1` block with 17-digit
+// The canonical bytes are a plain-text `spiv-req v2` block with 17-digit
 // doubles (round-trip exact), so two requests collide iff their matrices
 // are bit-identical and their options equal — no float normalization games.
+// alpha/nu/kappa enter the bytes only for LMI methods (the only methods
+// whose result depends on them), so eq-smt/eq-num/modal certificates are
+// shared across alpha sweeps.
 #pragma once
 
 #include <cstdint>
@@ -24,13 +28,26 @@
 
 namespace spiv::store {
 
-/// Everything that determines a verification result.
+/// Everything that determines a verification result.  The synthesis
+/// parameters must mirror the lyap::SynthesisOptions actually passed to
+/// synthesize() — copy them from the options object, never re-default.
 struct CertRequest {
   numeric::Matrix a;  ///< closed-loop mode dynamics matrix
   lyap::Method method = lyap::Method::EqNum;
   std::optional<sdp::Backend> backend;  ///< LMI methods only
   smt::Engine engine = smt::Engine::Sylvester;
-  int digits = 10;  ///< rounding before exact validation
+  int digits = 10;      ///< rounding before exact validation
+  double alpha = 0.1;   ///< LMIa decay rate (LMI methods only)
+  double nu = 1e-3;     ///< LMIa+ eigenvalue floor (LMI methods only)
+  double kappa = 1.0;   ///< P < kappa I normalization (LMI methods only)
+
+  /// Copy the result-determining synthesis parameters from the options
+  /// that will be (or were) handed to lyap::synthesize.
+  void set_synthesis_params(const lyap::SynthesisOptions& options) {
+    alpha = options.alpha;
+    nu = options.nu;
+    kappa = options.kappa;
+  }
 };
 
 /// FNV-1a over `bytes` starting from `seed` (pass a different seed to get an
@@ -38,7 +55,7 @@ struct CertRequest {
 [[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes,
                                     std::uint64_t seed = 14695981039346656037ull);
 
-/// The canonical `spiv-req v1` serialization of a request.
+/// The canonical `spiv-req v2` serialization of a request.
 [[nodiscard]] std::string canonical_request_bytes(const CertRequest& request);
 
 /// 128-bit content key: 32 lowercase hex characters (two independent FNV-1a

@@ -117,6 +117,30 @@ TEST(CertKey, DeterministicAndSensitiveToEveryField) {
   other = base;
   other.a(0, 0) = std::nextafter(other.a(0, 0), 0.0);  // one ulp
   EXPECT_NE(request_key(other), key);
+  // Synthesis parameters shape LMI results and must shape the key: a
+  // different-alpha certificate replayed for this request would be wrong.
+  other = base;
+  other.alpha = 0.2;
+  EXPECT_NE(request_key(other), key);
+  other = base;
+  other.nu = 1e-4;
+  EXPECT_NE(request_key(other), key);
+  other = base;
+  other.kappa = 2.0;
+  EXPECT_NE(request_key(other), key);
+}
+
+TEST(CertKey, NonLmiMethodsShareCertificatesAcrossSynthesisParams) {
+  // eq-smt/eq-num/modal results do not depend on alpha/nu/kappa, so an
+  // alpha sweep must keep hitting the same certificate.
+  CertRequest req = sample_request();
+  req.method = lyap::Method::EqNum;
+  req.backend = std::nullopt;
+  const std::string key = request_key(req);
+  req.alpha = 0.5;
+  req.nu = 1.0;
+  req.kappa = 3.0;
+  EXPECT_EQ(request_key(req), key);
 }
 
 // -------------------------------------------------------------- format
