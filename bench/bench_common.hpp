@@ -11,13 +11,22 @@
 //                             (default: hardware_concurrency; 1 = serial;
 //                             every non-timing output is identical for any
 //                             value, see core/parallel.hpp)
+//
+// Every harness additionally accepts `--metrics-out FILE`: at exit it
+// writes the process's metrics registry (per-stage latency histograms,
+// pool and store counters) as Prometheus text to FILE, so the flat totals
+// in BENCH_*.json gain an attributable stage breakdown.
 #pragma once
 
 #include <cstdlib>
+#include <cstring>
+#include <iostream>
 #include <sstream>
 #include <string>
 
 #include "core/experiments.hpp"
+#include "core/format.hpp"
+#include "obs/metrics.hpp"
 
 namespace spiv::bench {
 
@@ -41,6 +50,32 @@ inline std::vector<std::size_t> env_sizes(
   while (std::getline(ss, tok, ','))
     if (!tok.empty()) out.push_back(std::stoul(tok));
   return out.empty() ? fallback : out;
+}
+
+/// Parse `--metrics-out FILE` from a harness command line; empty when the
+/// flag is absent.  Unknown arguments warn (the harnesses are otherwise
+/// configured entirely through the environment).
+inline std::string metrics_out_path(int argc, char** argv) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--metrics-out") && i + 1 < argc) {
+      path = argv[++i];
+    } else {
+      std::cerr << "bench: ignoring unknown argument '" << argv[i]
+                << "' (supported: --metrics-out FILE)\n";
+    }
+  }
+  return path;
+}
+
+/// Write the global metrics registry's Prometheus exposition to `path`
+/// (no-op when `path` is empty).
+inline void write_metrics(const std::string& path) {
+  if (path.empty()) return;
+  if (core::write_file(path, obs::Registry::global().expose() + "\n"))
+    std::cout << "(stage-breakdown metrics written to " << path << ")\n";
+  else
+    std::cerr << "bench: cannot write metrics to " << path << "\n";
 }
 
 inline core::ExperimentConfig make_config(double default_synth_timeout,

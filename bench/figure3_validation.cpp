@@ -10,8 +10,9 @@
 #include "bench_common.hpp"
 #include "core/format.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spiv;
+  const std::string metrics_out = bench::metrics_out_path(argc, argv);
   core::ExperimentConfig config = bench::make_config(
       /*synth_timeout=*/60.0, /*validate_timeout=*/30.0);
   // The candidate pool comes from a Table-I pass over the small/mid sizes
@@ -27,5 +28,6 @@ int main() {
   std::cout << core::format_figure3(result);
   core::write_file("figure3.csv", core::figure3_csv(result));
   std::cout << "(CSV written to figure3.csv)\n";
+  bench::write_metrics(metrics_out);
   return 0;
 }

@@ -8,13 +8,15 @@
 #include "bench_common.hpp"
 #include "core/format.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spiv;
+  const std::string metrics_out = bench::metrics_out_path(argc, argv);
   core::ExperimentConfig config = bench::make_config(
       /*synth_timeout=*/120.0, /*validate_timeout=*/60.0);
   if (!std::getenv("SPIV_SIZES") && !bench::env_flag("SPIV_QUICK"))
     config.sizes = {3, 5};  // SPIV_SIZES=3,5,10 for the wider run
   core::PiecewiseResult result = core::run_piecewise(config);
   std::cout << core::format_piecewise(result);
+  bench::write_metrics(metrics_out);
   return 0;
 }

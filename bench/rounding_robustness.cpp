@@ -10,8 +10,9 @@
 #include "bench_common.hpp"
 #include "core/format.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spiv;
+  const std::string metrics_out = bench::metrics_out_path(argc, argv);
   core::ExperimentConfig config = bench::make_config(
       /*synth_timeout=*/60.0, /*validate_timeout=*/30.0);
   if (!std::getenv("SPIV_SIZES") && !bench::env_flag("SPIV_QUICK"))
@@ -22,5 +23,6 @@ int main() {
   core::RoundingResult result =
       core::run_rounding_study(table1.candidates, config, {10, 6, 4});
   std::cout << core::format_rounding(result);
+  bench::write_metrics(metrics_out);
   return 0;
 }

@@ -55,8 +55,9 @@ std::string service_bench_json(double cold_seconds, double warm_seconds,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spiv;
+  const std::string metrics_out = bench::metrics_out_path(argc, argv);
   core::ExperimentConfig config = bench::make_config(
       /*synth_timeout=*/75.0, /*validate_timeout=*/60.0);
   const std::size_t jobs = core::resolve_jobs(config.jobs);
@@ -90,5 +91,6 @@ int main() {
               << (identical ? "identical" : "DIFFERENT")
               << "; recorded in BENCH_service.json)\n";
   }
+  bench::write_metrics(metrics_out);
   return 0;
 }

@@ -11,8 +11,9 @@
 #include "bench_common.hpp"
 #include "core/format.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spiv;
+  const std::string metrics_out = bench::metrics_out_path(argc, argv);
   core::ExperimentConfig config = bench::make_config(
       /*synth_timeout=*/120.0, /*validate_timeout=*/120.0);
   std::vector<std::size_t> sizes =
@@ -23,5 +24,6 @@ int main() {
   std::cout << core::format_table2(result);
   core::write_file("table2.csv", core::table2_csv(result));
   std::cout << "(CSV written to table2.csv)\n";
+  bench::write_metrics(metrics_out);
   return 0;
 }

@@ -7,6 +7,7 @@
 
 #include "core/parallel.hpp"
 #include "model/switched_pi.hpp"
+#include "obs/span.hpp"
 #include "store/cert_store.hpp"
 
 namespace spiv::core {
@@ -50,6 +51,10 @@ struct ModeCase {
 };
 
 std::vector<ModeCase> make_cases(const ExperimentConfig& config) {
+  // Case enumeration covers both the model loads and the loop closures;
+  // attribute it as one stage (it is cheap next to synthesis, but the
+  // benches' --metrics-out breakdown should still account for it).
+  obs::Span span{"case-load"};
   std::vector<ModeCase> cases;
   for (const auto& bm : model::benchmark_family()) {
     if (std::find(config.sizes.begin(), config.sizes.end(), bm.size) ==
@@ -127,7 +132,7 @@ Table1Result run_table1(const ExperimentConfig& config) {
             out.synthesized = true;
             out.synth_seconds = record->candidate.synth_seconds;
             out.valid = record->validation.valid();
-            out.p = std::move(record->candidate.p);
+            out.p = record->candidate.p;  // record is shared with the cache
             return;
           }
         }

@@ -66,7 +66,11 @@ std::size_t resolve_jobs(std::size_t requested) {
   return hw;
 }
 
-JobPool::JobPool(std::size_t threads) {
+JobPool::JobPool(std::size_t threads)
+    : queue_depth_(obs::Registry::global().gauge("spiv_pool_queue_depth")),
+      jobs_executed_(
+          obs::Registry::global().counter("spiv_pool_jobs_executed_total")),
+      steals_(obs::Registry::global().counter("spiv_pool_steals_total")) {
   if (threads == 0) threads = 1;
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
@@ -97,6 +101,7 @@ void JobPool::submit(Job job) {
     std::lock_guard<std::mutex> lock(workers_[target]->mutex);
     workers_[target]->jobs.push_back(std::move(job));
   }
+  queue_depth_.add(1);
   work_cv_.notify_one();
 }
 
@@ -121,6 +126,7 @@ bool JobPool::try_pop(std::size_t self, Job& out) {
     if (!w.jobs.empty()) {
       out = std::move(w.jobs.back());
       w.jobs.pop_back();
+      queue_depth_.sub(1);
       return true;
     }
   }
@@ -133,6 +139,8 @@ bool JobPool::try_pop(std::size_t self, Job& out) {
     if (!w.jobs.empty()) {
       out = std::move(w.jobs.front());
       w.jobs.pop_front();
+      queue_depth_.sub(1);
+      steals_.add(1);
       return true;
     }
   }
@@ -149,6 +157,7 @@ void JobPool::run_worker(std::size_t self) {
       continue;
     }
     job();
+    jobs_executed_.add(1);
     bool idle;
     {
       std::lock_guard<std::mutex> lock(signal_mutex_);

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "exact/timeout.hpp"
+#include "obs/metrics.hpp"
 
 namespace spiv::core {
 
@@ -86,6 +87,11 @@ class JobPool {
   bool stop_ = false;
   std::size_t next_worker_ = 0;  ///< round-robin submission cursor
   CancelToken token_;
+  // Pool observability (global registry, shared by every pool in the
+  // process): resolved once here so the submit/pop path never locks it.
+  obs::Gauge& queue_depth_;      ///< submitted, not yet popped by a worker
+  obs::Counter& jobs_executed_;  ///< jobs run to completion
+  obs::Counter& steals_;         ///< pops from another worker's deque
 };
 
 /// Run body(i, token) for every i in [0, n) on a JobPool with `jobs`

@@ -57,10 +57,18 @@ class Deadline {
   /// Never expires.
   Deadline() = default;
 
-  /// Expires `budget` from now.
-  explicit Deadline(std::chrono::duration<double> budget)
-      : expiry_(Clock::now() +
-                std::chrono::duration_cast<Clock::duration>(budget)) {}
+  /// Expires `budget` from now.  Budgets beyond the clock's representable
+  /// range saturate to "effectively never" — an unchecked duration_cast
+  /// would overflow into a *past* expiry and time every request out
+  /// instantly (e.g. `spiv-serve --timeout 1e18`).
+  explicit Deadline(std::chrono::duration<double> budget) {
+    const Clock::time_point now = Clock::now();
+    const std::chrono::duration<double> headroom =
+        std::chrono::duration<double>(Clock::time_point::max() - now);
+    expiry_ = budget >= headroom
+                  ? Clock::time_point::max()
+                  : now + std::chrono::duration_cast<Clock::duration>(budget);
+  }
 
   [[nodiscard]] static Deadline after_seconds(double s) {
     return Deadline{std::chrono::duration<double>(s)};

@@ -6,6 +6,8 @@
 #include "exact/lyapunov_exact.hpp"
 #include "numeric/eigen.hpp"
 #include "numeric/lyapunov.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sdp/lyapunov_lmi.hpp"
 
 namespace spiv::lyap {
@@ -101,6 +103,11 @@ std::optional<Candidate> synthesize(const Matrix& a, Method method,
                                     const SynthesisOptions& options) {
   if (!a.is_square())
     throw std::invalid_argument("synthesize: A must be square");
+  // Stage span (records even when the method throws TimeoutError) plus a
+  // per-method latency histogram for the successful syntheses.
+  obs::Span span{"synthesis", to_string(method)};
+  obs::Histogram& method_seconds = obs::Registry::global().histogram(
+      "spiv_synthesis_seconds{method=\"" + to_string(method) + "\"}");
   const auto start = std::chrono::steady_clock::now();
   std::optional<Candidate> c;
   switch (method) {
@@ -117,6 +124,7 @@ std::optional<Candidate> synthesize(const Matrix& a, Method method,
     c->synth_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
+    method_seconds.observe(c->synth_seconds);
   }
   return c;
 }

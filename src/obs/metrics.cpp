@@ -1,0 +1,159 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+
+namespace spiv::obs {
+
+namespace detail {
+
+std::size_t thread_slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace detail
+
+double Histogram::bucket_bound(std::size_t i) noexcept {
+  if (i + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+  return 1e-6 * static_cast<double>(std::uint64_t{1} << i);
+}
+
+std::size_t Histogram::bucket_index(double seconds) noexcept {
+  // NaN and negatives land in the first bucket rather than deciding policy
+  // on the hot path; durations are nonnegative by construction.
+  for (std::size_t i = 0; i + 1 < kBuckets; ++i)
+    if (!(seconds > bucket_bound(i))) return i;
+  return kBuckets - 1;
+}
+
+void Histogram::observe(double seconds) noexcept {
+  Shard& shard = shards_[detail::thread_slot() % kShards];
+  shard.buckets[bucket_index(seconds)].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  const double ns = seconds * 1e9;
+  const std::uint64_t add =
+      ns > 0.0 && ns < 1.8e19 ? static_cast<std::uint64_t>(ns) : 0;
+  shard.sum_ns.fetch_add(add, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::cumulative(std::size_t i) const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_)
+    for (std::size_t b = 0; b <= i && b < kBuckets; ++b)
+      total += shard.buckets[b].load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_)
+    total += shard.count.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum_seconds() const noexcept {
+  std::uint64_t ns = 0;
+  for (const Shard& shard : shards_)
+    ns += shard.sum_ns.load(std::memory_order_relaxed);
+  return static_cast<double>(ns) / 1e9;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+namespace {
+
+/// Family = the metric name without its inline label set.
+std::string family_of(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+/// The label set of `name` with one more label appended:
+/// `f{a="b"}` + `le="1"` -> `{a="b",le="1"}`; `f` + `le="1"` -> `{le="1"}`.
+std::string labels_with(const std::string& name, const std::string& extra) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos) return "{" + extra + "}";
+  std::string labels = name.substr(brace);             // "{...}"
+  if (labels.size() <= 2) return "{" + extra + "}";    // "{}"
+  labels.insert(labels.size() - 1, "," + extra);
+  return labels;
+}
+
+std::string format_bound(double bound) {
+  if (std::isinf(bound)) return "+Inf";
+  std::ostringstream os;
+  os << bound;
+  return os.str();
+}
+
+void type_line(std::ostream& os, std::unordered_set<std::string>& seen,
+               const std::string& name, const char* type) {
+  const std::string family = family_of(name);
+  if (seen.insert(family).second)
+    os << "# TYPE " << family << " " << type << "\n";
+}
+
+}  // namespace
+
+std::string Registry::expose() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  std::unordered_set<std::string> seen;
+  for (const auto& [name, c] : counters_) {
+    type_line(os, seen, name, "counter");
+    os << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    type_line(os, seen, name, "gauge");
+    os << name << " " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    type_line(os, seen, name, "histogram");
+    const std::string family = family_of(name);
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      os << family << "_bucket"
+         << labels_with(name,
+                        "le=\"" + format_bound(Histogram::bucket_bound(i)) +
+                            "\"")
+         << " " << h->cumulative(i) << "\n";
+    }
+    const std::size_t brace = name.find('{');
+    const std::string labels =
+        brace == std::string::npos ? "" : name.substr(brace);
+    os << family << "_sum" << labels << " " << h->sum_seconds() << "\n";
+    os << family << "_count" << labels << " " << h->count() << "\n";
+  }
+  os << "# EOF";
+  return os.str();
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace spiv::obs

@@ -1,0 +1,137 @@
+// spiv::obs — lock-cheap metrics for the verification pipeline.
+//
+// The paper's evaluation is a timing study (Table I synthesis times, Fig. 3
+// validation curves); this registry is the substrate that keeps those
+// timings attributable as the system scales: counters and gauges for the
+// job pool and certificate store, latency histograms for every pipeline
+// stage, all exposed in Prometheus text format by `spiv-serve metrics` and
+// by the benches' `--metrics-out` flag.
+//
+// Concurrency model: the hot path (add / observe) is wait-free — sharded
+// relaxed atomics indexed by a per-thread slot, no mutex anywhere on it.
+// The registry itself takes a mutex only to *create* a metric or to render
+// an exposition snapshot; call sites on hot paths cache the returned
+// reference (metrics are never deleted, so references stay valid for the
+// life of the process).
+//
+// Metric names follow Prometheus conventions and may carry a label set
+// inline: `counter("spiv_pool_jobs_total")`,
+// `histogram("spiv_stage_seconds{stage=\"synthesis\"}")`.  Metrics sharing
+// a family (the name before '{') are grouped under one `# TYPE` line.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace spiv::obs {
+
+namespace detail {
+/// Small per-thread slot used to spread hot-path atomics across cache
+/// lines; threads are assigned round-robin at first use.
+[[nodiscard]] std::size_t thread_slot() noexcept;
+}  // namespace detail
+
+/// Monotonic counter: sharded relaxed atomics, exact total under any
+/// interleaving (each increment lands in exactly one shard).
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[detail::thread_slot() % kShards].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kShards> cells_{};
+};
+
+/// Signed instantaneous value (queue depth, in-flight requests).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void sub(std::int64_t n = 1) noexcept {
+    v_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Latency histogram with fixed log-scale buckets: upper bounds
+/// 1 µs · 2^i for i = 0 .. kBuckets-2 (so 1 µs … ~17.9 min) plus a +Inf
+/// bucket.  Fixed boundaries mean histograms from different runs and
+/// different processes are always mergeable.  Observations are wait-free:
+/// one relaxed fetch_add into a sharded (bucket, count, sum) block.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;  ///< last bucket is +Inf
+  static constexpr std::size_t kShards = 4;
+
+  /// Upper bound of bucket `i` in seconds; +Inf for the last bucket.
+  [[nodiscard]] static double bucket_bound(std::size_t i) noexcept;
+
+  /// Index of the bucket whose bound is the first >= `seconds`.
+  [[nodiscard]] static std::size_t bucket_index(double seconds) noexcept;
+
+  void observe(double seconds) noexcept;
+
+  /// Cumulative count of observations <= bucket_bound(i) (Prometheus `le`
+  /// semantics).
+  [[nodiscard]] std::uint64_t cumulative(std::size_t i) const noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] double sum_seconds() const noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum_ns{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Named metric registry.  Creation and exposition lock; returned
+/// references are stable for the life of the registry.
+class Registry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  /// Prometheus text exposition of every registered metric, terminated by
+  /// an OpenMetrics-style `# EOF` line.
+  [[nodiscard]] std::string expose() const;
+
+  /// The process-wide registry every subsystem reports into.
+  [[nodiscard]] static Registry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  // std::map: sorted exposition and node-stable references.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace spiv::obs

@@ -13,6 +13,8 @@
 #include "core/parallel.hpp"
 #include "model/serialize.hpp"
 #include "model/switched_pi.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace spiv::service {
 
@@ -61,9 +63,32 @@ std::string request_fields(const VerifyRequest& req, const std::string& key,
   return os.str();
 }
 
-std::string error_line(const VerifyRequest& req, const std::string& msg) {
-  return result_prefix(req) + " status=error cache=off" +
-         request_fields(req, "", "") + " msg=" + msg;
+/// How a verify request ended.  `serve` counts failures on this enum — the
+/// formatted line is user-influenced (msg text, case-file paths) and must
+/// never drive accounting.
+enum class Status { Valid, Invalid, Timeout, SynthFailed, Error };
+
+/// One response: the machine-readable outcome plus the protocol line.
+struct VerifyOutcome {
+  Status status = Status::Error;
+  std::string line;
+};
+
+/// Collapse embedded line breaks (and other control bytes) so a message —
+/// e.g. an exception's what() — can never split a protocol line, and trim
+/// the trailing whitespace that multi-line messages leave behind.
+std::string sanitize_message(const std::string& msg) {
+  std::string out = msg;
+  for (char& c : out)
+    if (static_cast<unsigned char>(c) < 0x20) c = ' ';
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+VerifyOutcome error_outcome(const VerifyRequest& req, const std::string& msg) {
+  return {Status::Error, result_prefix(req) + " status=error cache=off" +
+                             request_fields(req, "", "") + " msg=" +
+                             sanitize_message(msg)};
 }
 
 std::string seconds_field(const char* name, double s) {
@@ -74,23 +99,25 @@ std::string seconds_field(const char* name, double s) {
 
 /// The whole per-request pipeline: load case, close the loop, consult the
 /// store, compute on miss, insert, format one result line.
-std::string handle_verify(const VerifyRequest& req, store::CertStore* store,
-                          const CancelToken& token) {
+VerifyOutcome handle_verify(const VerifyRequest& req, store::CertStore* store,
+                            const CancelToken& token) {
   model::BenchmarkModel bm;
   {
+    obs::Span span{"case-load", req.case_file};
     std::ifstream in{req.case_file};
-    if (!in) return error_line(req, "cannot open case file " + req.case_file);
+    if (!in)
+      return error_outcome(req, "cannot open case file " + req.case_file);
     try {
       bm = model::read_case(in);
     } catch (const std::exception& e) {
-      return error_line(req, std::string{"case parse failed: "} + e.what());
+      return error_outcome(req, std::string{"case parse failed: "} + e.what());
     }
   }
   if (req.mode >= bm.controller.num_modes()) {
     std::ostringstream os;
     os << "mode " << req.mode << " out of range (case has "
        << bm.controller.num_modes() << " modes)";
-    return error_line(req, os.str());
+    return error_outcome(req, os.str());
   }
 
   // The synthesis options used on a miss, built up front so the cache key
@@ -100,8 +127,12 @@ std::string handle_verify(const VerifyRequest& req, store::CertStore* store,
   if (req.backend) options.backend = *req.backend;
 
   store::CertRequest cert_req;
-  cert_req.a =
-      model::close_loop_single_mode(bm.plant, bm.controller.gains[req.mode]).a;
+  {
+    obs::Span span{"close-loop", bm.name};
+    cert_req.a =
+        model::close_loop_single_mode(bm.plant, bm.controller.gains[req.mode])
+            .a;
+  }
   cert_req.method = req.method;
   cert_req.backend = req.backend;
   cert_req.engine = req.engine;
@@ -110,50 +141,66 @@ std::string handle_verify(const VerifyRequest& req, store::CertStore* store,
   const std::string key = store::request_key(cert_req);
 
   if (store) {
+    obs::Span span{"store-lookup", key};
     if (auto rec = store->lookup(key)) {
-      const char* status = rec->validation.valid() ? "valid" : "invalid";
-      return result_prefix(req) + " status=" + status + " cache=hit" +
-             request_fields(req, key, bm.name) +
-             seconds_field("synth_seconds", rec->candidate.synth_seconds) +
-             seconds_field("validate_seconds", rec->validation.seconds());
+      const bool valid = rec->validation.valid();
+      return {valid ? Status::Valid : Status::Invalid,
+              result_prefix(req) + " status=" +
+                  (valid ? "valid" : "invalid") + " cache=hit" +
+                  request_fields(req, key, bm.name) +
+                  seconds_field("synth_seconds",
+                                rec->candidate.synth_seconds) +
+                  seconds_field("validate_seconds", rec->validation.seconds())};
     }
   }
 
-  // Miss: run the full synthesize-then-validate pipeline.
-  options.deadline = Deadline::after_seconds(req.timeout_seconds, token);
+  // Miss: run the full synthesize-then-validate pipeline under ONE deadline
+  // — synthesis consumes from the front of the budget and validation gets
+  // only the remainder.  (Minting a second Deadline here used to let one
+  // request burn 2x its declared timeout.)
+  const Deadline deadline = Deadline::after_seconds(req.timeout_seconds, token);
+  options.deadline = deadline;
   std::optional<lyap::Candidate> candidate;
   try {
     candidate = lyap::synthesize(cert_req.a, req.method, options);
   } catch (const TimeoutError&) {
-    return result_prefix(req) + " status=timeout cache=miss" +
-           request_fields(req, key, bm.name);
+    return {Status::Timeout, result_prefix(req) + " status=timeout cache=miss" +
+                                 request_fields(req, key, bm.name)};
   } catch (const std::exception& e) {
-    return error_line(req, std::string{"synthesis failed: "} + e.what());
+    return error_outcome(req, std::string{"synthesis failed: "} + e.what());
   }
   if (!candidate)
-    return result_prefix(req) + " status=synth-failed cache=miss" +
-           request_fields(req, key, bm.name);
+    return {Status::SynthFailed,
+            result_prefix(req) + " status=synth-failed cache=miss" +
+                request_fields(req, key, bm.name)};
 
   smt::CheckOptions check;
-  check.deadline = Deadline::after_seconds(req.timeout_seconds, token);
+  check.deadline = deadline;
   smt::LyapunovValidation validation;
   try {
     validation = smt::validate_lyapunov(cert_req.a, candidate->p, req.engine,
                                         req.digits, check);
   } catch (const std::exception& e) {
-    return error_line(req, std::string{"validation failed: "} + e.what());
+    return error_outcome(req, std::string{"validation failed: "} + e.what());
   }
   const bool timed_out =
       validation.positivity.outcome == smt::Outcome::Timeout ||
       validation.decrease.outcome == smt::Outcome::Timeout;
-  const char* status =
-      timed_out ? "timeout" : (validation.valid() ? "valid" : "invalid");
-  if (store && !timed_out)
+  if (store && !timed_out) {
+    obs::Span span{"store-insert", key};
     store->insert(key, store::CertRecord{*candidate, validation});
-  return result_prefix(req) + " status=" + status + " cache=" +
-         (store ? "miss" : "off") + request_fields(req, key, bm.name) +
-         seconds_field("synth_seconds", candidate->synth_seconds) +
-         seconds_field("validate_seconds", validation.seconds());
+  }
+  const Status status = timed_out
+                            ? Status::Timeout
+                            : (validation.valid() ? Status::Valid
+                                                  : Status::Invalid);
+  const char* status_text =
+      timed_out ? "timeout" : (validation.valid() ? "valid" : "invalid");
+  return {status,
+          result_prefix(req) + " status=" + status_text + " cache=" +
+              (store ? "miss" : "off") + request_fields(req, key, bm.name) +
+              seconds_field("synth_seconds", candidate->synth_seconds) +
+              seconds_field("validate_seconds", validation.seconds())};
 }
 
 /// Parse one `verify` line (after the command token).  Returns an error
@@ -201,6 +248,17 @@ int serve(std::istream& in, std::ostream& out, const ServeOptions& options) {
   std::atomic<int> errors{0};
   std::size_t next_id = 1;
 
+  obs::Registry& registry = obs::Registry::global();
+  obs::Counter& requests_total =
+      registry.counter("spiv_serve_requests_total");
+  obs::Counter& errors_total = registry.counter("spiv_serve_errors_total");
+  // Pre-register the stage histograms the `metrics` command promises, so a
+  // scrape before the first request still sees the full family set.
+  for (const char* stage : {"case-load", "close-loop", "synthesis",
+                            "validation", "store-lookup", "store-insert"})
+    (void)registry.histogram(std::string{"spiv_stage_seconds{stage=\""} +
+                             stage + "\"}");
+
   std::string line;
   while (std::getline(in, line)) {
     std::istringstream is{line};
@@ -210,6 +268,12 @@ int serve(std::istream& in, std::ostream& out, const ServeOptions& options) {
     if (command == "wait") {
       pool.wait_idle();
       writer.write("idle");
+      continue;
+    }
+    if (command == "metrics") {
+      // Multi-line Prometheus text exposition, written as one atomic block
+      // and terminated by `# EOF` so clients know where the scrape ends.
+      writer.write(registry.expose());
       continue;
     }
     if (command == "stats") {
@@ -228,6 +292,7 @@ int serve(std::istream& in, std::ostream& out, const ServeOptions& options) {
     if (command != "verify") {
       writer.write("error unknown command '" + command + "'");
       errors.fetch_add(1, std::memory_order_relaxed);
+      errors_total.add();
       continue;
     }
     VerifyRequest req;
@@ -235,17 +300,21 @@ int serve(std::istream& in, std::ostream& out, const ServeOptions& options) {
     req.timeout_seconds = options.default_timeout_seconds;
     const std::string parse_error = parse_verify(is, req);
     if (!parse_error.empty()) {
-      writer.write(error_line(req, parse_error));
+      writer.write(error_outcome(req, parse_error).line);
       errors.fetch_add(1, std::memory_order_relaxed);
+      errors_total.add();
       continue;
     }
     writer.write("queued id=" + std::to_string(req.id));
+    requests_total.add();
     store::CertStore* store = options.store;
-    pool.submit([req, store, &pool, &writer, &errors] {
-      const std::string response = handle_verify(req, store, pool.token());
-      if (response.find(" status=error ") != std::string::npos)
+    pool.submit([req, store, &pool, &writer, &errors, &errors_total] {
+      const VerifyOutcome outcome = handle_verify(req, store, pool.token());
+      if (outcome.status == Status::Error) {
         errors.fetch_add(1, std::memory_order_relaxed);
-      writer.write(response);
+        errors_total.add();
+      }
+      writer.write(outcome.line);
     });
   }
   pool.wait_idle();

@@ -7,6 +7,7 @@
 //   verify <case-file> <mode> <method> <backend|-> <engine> <digits> [timeout_s]
 //   wait                       # barrier: block until all queued work is done
 //   stats                      # one line of store/pool counters
+//   metrics                    # Prometheus text exposition, ends with `# EOF`
 //   quit                       # drain and exit
 //
 // Each syntactically valid `verify` is acknowledged immediately with
@@ -18,7 +19,12 @@
 //     cache=<hit|miss|off> key=<32 hex> model=<name> mode=<m>
 //     method=<name> backend=<name|-> engine=<name> digits=<d>
 //     synth_seconds=<s> validate_seconds=<s> [msg=<text>]
-//   (one physical line; wrapped here for readability)
+//   (one physical line; wrapped here for readability.  msg text is
+//   sanitized: embedded newlines can never split a protocol line.)
+//
+// The [timeout_s] budget covers the WHOLE request: synthesis consumes from
+// the front and validation gets only the remainder, so one request can
+// never burn more than its declared timeout.
 //
 // Warm requests are answered straight from the certificate store
 // (cache=hit) without invoking any synthesis kernel; misses are computed
@@ -38,8 +44,8 @@ struct ServeOptions {
   /// Worker threads for the request pool: 0 = $SPIV_JOBS (else
   /// hardware_concurrency).
   std::size_t jobs = 0;
-  /// Per-phase (synthesis / validation) budget when a request carries no
-  /// explicit timeout.
+  /// Whole-request (synthesis + validation combined) budget when a request
+  /// carries no explicit timeout.
   double default_timeout_seconds = 60.0;
   /// Certificate store; nullptr disables caching (every request computes).
   store::CertStore* store = nullptr;

@@ -21,7 +21,8 @@ void print_usage(std::FILE* to, const char* prog) {
   std::fprintf(to,
                "usage: %s [--jobs N] [--timeout SECONDS]\n"
                "protocol: verify <case-file> <mode> <method> <backend|-> "
-               "<engine> <digits> [timeout_s] | wait | stats | quit\n",
+               "<engine> <digits> [timeout_s] | wait | stats | metrics | "
+               "quit\n",
                prog);
 }
 

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "numeric/eigen.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "smt/charpoly.hpp"
 
 namespace spiv::smt {
@@ -205,6 +207,7 @@ LyapunovValidation validate_lyapunov(const numeric::Matrix& a,
                                      int digits, const CheckOptions& options) {
   if (!a.is_square() || !p.is_square() || a.rows() != p.rows())
     throw std::invalid_argument("validate_lyapunov: shape mismatch");
+  obs::Span span{"validation", to_string(engine)};
   // The system matrix enters exactly; only the candidate is rounded
   // (paper §VI-B1: candidates rounded at the 10th significant figure).
   const RatMatrix a_exact = rationalize(a, 0);
@@ -215,6 +218,10 @@ LyapunovValidation validate_lyapunov(const numeric::Matrix& a,
   LyapunovValidation out;
   out.positivity = check_positive_definite(p_exact, engine, options);
   out.decrease = check_positive_definite(lie, engine, options);
+  obs::Registry::global()
+      .histogram("spiv_validation_seconds{engine=\"" + to_string(engine) +
+                 "\"}")
+      .observe(out.seconds());
   return out;
 }
 

@@ -1,5 +1,6 @@
 #include "store/cert_store.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -12,9 +13,33 @@ namespace spiv::store {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+/// Seconds elapsed since `t0` (store-tier latency observations).
+double since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
 CertStore::CertStore(std::string dir, std::size_t memory_capacity)
     : dir_(std::move(dir)),
-      shard_capacity_(std::max<std::size_t>(1, memory_capacity / kShards)) {
+      shard_capacity_(std::max<std::size_t>(1, memory_capacity / kShards)),
+      m_memory_hits_(
+          obs::Registry::global().counter("spiv_store_memory_hits_total")),
+      m_disk_hits_(
+          obs::Registry::global().counter("spiv_store_disk_hits_total")),
+      m_misses_(obs::Registry::global().counter("spiv_store_misses_total")),
+      m_writes_(obs::Registry::global().counter("spiv_store_writes_total")),
+      lookup_memory_seconds_(obs::Registry::global().histogram(
+          "spiv_store_lookup_seconds{tier=\"memory\"}")),
+      lookup_disk_seconds_(obs::Registry::global().histogram(
+          "spiv_store_lookup_seconds{tier=\"disk\"}")),
+      lookup_miss_seconds_(obs::Registry::global().histogram(
+          "spiv_store_lookup_seconds{tier=\"miss\"}")),
+      insert_seconds_(
+          obs::Registry::global().histogram("spiv_store_insert_seconds")) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec || !fs::is_directory(dir_))
@@ -28,11 +53,20 @@ std::string CertStore::path_for(const std::string& key) const {
 
 CertStore::Shard& CertStore::shard_for(const std::string& key) {
   // Keys are hex strings of a uniform hash; the last nibble is as good a
-  // shard index as any.
-  const char c = key.empty() ? '0' : key.back();
-  const std::size_t nibble =
-      c >= 'a' ? static_cast<std::size_t>(c - 'a' + 10)
-               : static_cast<std::size_t>(c - '0');
+  // shard index as any.  Keys are caller-supplied, though, so decode
+  // defensively: uppercase hex maps like lowercase, anything else hashes
+  // by raw byte value instead of wrapping through a negative `c - '0'`.
+  const unsigned char c =
+      key.empty() ? '0' : static_cast<unsigned char>(key.back());
+  std::size_t nibble;
+  if (c >= '0' && c <= '9')
+    nibble = static_cast<std::size_t>(c - '0');
+  else if (c >= 'a' && c <= 'f')
+    nibble = static_cast<std::size_t>(c - 'a' + 10);
+  else if (c >= 'A' && c <= 'F')
+    nibble = static_cast<std::size_t>(c - 'A' + 10);
+  else
+    nibble = static_cast<std::size_t>(c) & 0xF;
   return shards_[nibble % kShards];
 }
 
@@ -53,7 +87,8 @@ void CertStore::remember(const std::string& key,
   }
 }
 
-std::optional<CertRecord> CertStore::lookup(const std::string& key) {
+std::shared_ptr<const CertRecord> CertStore::lookup(const std::string& key) {
+  const auto t0 = std::chrono::steady_clock::now();
   // Memory tier.
   {
     Shard& shard = shard_for(key);
@@ -62,14 +97,18 @@ std::optional<CertRecord> CertStore::lookup(const std::string& key) {
     if (it != shard.index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       memory_hits_.fetch_add(1, std::memory_order_relaxed);
-      return *it->second->second;
+      m_memory_hits_.add();
+      lookup_memory_seconds_.observe(since(t0));
+      return it->second->second;
     }
   }
   // Disk tier (no shard lock held across I/O).
   std::ifstream in{path_for(key), std::ios::binary};
   if (!in) {
     misses_.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
+    m_misses_.add();
+    lookup_miss_seconds_.observe(since(t0));
+    return nullptr;
   }
   std::ostringstream buf;
   buf << in.rdbuf();
@@ -77,17 +116,21 @@ std::optional<CertRecord> CertStore::lookup(const std::string& key) {
     auto rec = std::make_shared<const CertRecord>(
         cert_from_string(buf.str(), key));
     disk_hits_.fetch_add(1, std::memory_order_relaxed);
-    CertRecord copy = *rec;
-    remember(key, std::move(rec));
-    return copy;
+    m_disk_hits_.add();
+    remember(key, rec);
+    lookup_disk_seconds_.observe(since(t0));
+    return rec;
   } catch (const std::exception&) {
     // Corrupt / truncated / version-mismatched entry: a miss, not an error.
     misses_.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
+    m_misses_.add();
+    lookup_miss_seconds_.observe(since(t0));
+    return nullptr;
   }
 }
 
 void CertStore::insert(const std::string& key, const CertRecord& record) {
+  const auto t0 = std::chrono::steady_clock::now();
   const std::string text = cert_to_string(key, record);
   // Unique temp name per writer so racing inserts never clobber each
   // other's in-flight bytes; the final rename is atomic within dir_.
@@ -114,7 +157,9 @@ void CertStore::insert(const std::string& key, const CertRecord& record) {
     return;
   }
   writes_.fetch_add(1, std::memory_order_relaxed);
+  m_writes_.add();
   remember(key, std::make_shared<const CertRecord>(record));
+  insert_seconds_.observe(since(t0));
 }
 
 StoreStats CertStore::stats() const {

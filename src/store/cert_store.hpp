@@ -19,10 +19,10 @@
 #include <list>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "store/cert_format.hpp"
 #include "store/cert_key.hpp"
 
@@ -48,8 +48,11 @@ class CertStore {
   CertStore& operator=(const CertStore&) = delete;
 
   /// Look a certificate up by key: memory first, then disk (which also
-  /// warms the memory tier).  Returns nullopt on miss or damaged entry.
-  [[nodiscard]] std::optional<CertRecord> lookup(const std::string& key);
+  /// warms the memory tier).  Returns nullptr on miss or damaged entry.
+  /// Hits share the cached record instead of deep-copying it — exact
+  /// rational P matrices can be large, and hot keys are hit per job.
+  [[nodiscard]] std::shared_ptr<const CertRecord> lookup(
+      const std::string& key);
 
   /// Persist a certificate (atomic write) and warm the memory tier.
   /// Concurrent inserts under one key are safe: renames are atomic and all
@@ -57,7 +60,8 @@ class CertStore {
   void insert(const std::string& key, const CertRecord& record);
 
   /// Convenience: request_key + lookup/insert.
-  [[nodiscard]] std::optional<CertRecord> lookup(const CertRequest& request) {
+  [[nodiscard]] std::shared_ptr<const CertRecord> lookup(
+      const CertRequest& request) {
     return lookup(request_key(request));
   }
   void insert(const CertRequest& request, const CertRecord& record) {
@@ -94,6 +98,16 @@ class CertStore {
   std::atomic<std::uint64_t> disk_hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> writes_{0};
+  // Global-registry mirrors of the counters above plus per-tier lookup and
+  // insert latency histograms (resolved once here; observing is wait-free).
+  obs::Counter& m_memory_hits_;
+  obs::Counter& m_disk_hits_;
+  obs::Counter& m_misses_;
+  obs::Counter& m_writes_;
+  obs::Histogram& lookup_memory_seconds_;
+  obs::Histogram& lookup_disk_seconds_;
+  obs::Histogram& lookup_miss_seconds_;
+  obs::Histogram& insert_seconds_;
 };
 
 }  // namespace spiv::store

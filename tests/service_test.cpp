@@ -7,8 +7,10 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <sstream>
 
 #include "model/reduction.hpp"
@@ -26,22 +28,22 @@ class ServiceTest : public ::testing::Test {
            ("spiv_service_test_" + std::to_string(::getpid()));
     fs::remove_all(dir_);
     fs::create_directories(dir_);
-    // Export the size-3 benchmark case once.
+    // Export the size-3 and size-5 benchmark cases once.
     for (const auto& bm : model::benchmark_family())
-      if (bm.name == "size3") {
-        std::ofstream out{case_path()};
+      if (bm.name == "size3" || bm.name == "size5") {
+        std::ofstream out{case_path(bm.name)};
         model::write_case(out, bm);
-        break;
       }
     ASSERT_TRUE(fs::exists(case_path()));
+    ASSERT_TRUE(fs::exists(case_path("size5")));
   }
   void TearDown() override {
     std::error_code ec;
     fs::remove_all(dir_, ec);
   }
 
-  [[nodiscard]] std::string case_path() const {
-    return (dir_ / "size3.spivcase").string();
+  [[nodiscard]] std::string case_path(const std::string& name = "size3") const {
+    return (dir_ / (name + ".spivcase")).string();
   }
   [[nodiscard]] std::string cache_path() const {
     return (dir_ / "cache").string();
@@ -70,6 +72,24 @@ class ServiceTest : public ::testing::Test {
     while (std::getline(is, line))
       if (line.rfind(prefix, 0) == 0) return line;
     return "";
+  }
+
+  /// Numeric `name=value` field of a result line; -1 when absent.
+  static double field_double(const std::string& line, const std::string& name) {
+    const std::size_t pos = line.find(" " + name + "=");
+    if (pos == std::string::npos) return -1.0;
+    return std::stod(line.substr(pos + name.size() + 2));
+  }
+
+  /// Value of the exposition sample named exactly `name`; -1 when absent.
+  static double sample_value(const std::string& exposition,
+                             const std::string& name) {
+    std::istringstream is{exposition};
+    std::string line;
+    while (std::getline(is, line))
+      if (line.rfind(name + " ", 0) == 0)
+        return std::stod(line.substr(name.size() + 1));
+    return -1.0;
   }
 
   fs::path dir_;
@@ -173,6 +193,90 @@ TEST_F(ServiceTest, StatsLineReflectsStoreCounters) {
   EXPECT_NE(transcript.find("writes=1"), std::string::npos);
   const std::string no_store = drive("stats\nquit\n", nullptr);
   EXPECT_NE(no_store.find("store=off"), std::string::npos);
+}
+
+TEST_F(ServiceTest, TimeoutBudgetIsSharedBetweenSynthesisAndValidation) {
+  // Regression test for the deadline double-spend: synthesis and validation
+  // used to each mint a FRESH `timeout_s` deadline, so a request declaring
+  // a budget T could run for up to 2T.  The workload (exact eq-smt solve on
+  // size5, validated by the exact smt-z3 engine at digits 0) takes roughly
+  // equal time in both stages, which makes the two behaviours observable:
+  // with one shared deadline, validation only gets what synthesis left and
+  // times out; with a fresh deadline it would finish and answer `valid`.
+  const std::string cmd =
+      "verify " + case_path("size5") + " 0 eq-smt - smt-z3 0";
+
+  // Calibrate on this machine under a generous budget.
+  const std::string calib = drive(cmd + " 600\nquit\n", nullptr);
+  const std::string calib_line = result_line(calib, 1);
+  ASSERT_NE(calib_line.find("status=valid"), std::string::npos) << calib_line;
+  const double s = field_double(calib_line, "synth_seconds");
+  const double v = field_double(calib_line, "validate_seconds");
+  ASSERT_GT(s, 0.0);
+  ASSERT_GT(v, 0.0);
+  // The budget below only discriminates when synthesis leaves validation
+  // less than it needs (T - s = v/2 < v) while a fresh deadline would have
+  // been ample (T = s + v/2 >= v, i.e. s >= v/2), and when both stages are
+  // long enough that scheduler noise cannot flip the outcome.
+  if (s < 0.2 || v < 0.2 || s < 0.6 * v)
+    GTEST_SKIP() << "workload cannot discriminate on this machine (synthesis "
+                 << s << " s, validation " << v << " s)";
+
+  const double budget = s + 0.5 * v;
+  std::ostringstream request;
+  request << cmd << " " << std::setprecision(17) << budget << "\nquit\n";
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::string transcript = drive(request.str(), nullptr);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const std::string line = result_line(transcript, 1);
+  EXPECT_NE(line.find("status=timeout"), std::string::npos)
+      << "request exceeded its declared budget (double-spent deadline?): "
+      << line;
+  // The whole request stays near its declared budget; the old code ran to
+  // completion at ~s+v wall-clock.
+  EXPECT_LT(wall, s + v) << "budget " << budget << " s, synthesis " << s
+                         << " s, validation " << v << " s";
+}
+
+TEST_F(ServiceTest, MetricsCommandExposesAndIncreasesAcrossRequests) {
+  store::CertStore store{cache_path()};
+  const std::string transcript = drive(
+      "metrics\n"
+      "verify " + case_path() + " 0 eq-num - sylvester 10\n" +
+          "wait\nmetrics\nquit\n",
+      &store);
+
+  // Two scrapes, each terminated by `# EOF`.
+  const std::size_t cut = transcript.find("# EOF");
+  ASSERT_NE(cut, std::string::npos);
+  const std::string first = transcript.substr(0, cut + 5);
+  const std::string second = transcript.substr(cut + 5);
+  ASSERT_NE(second.find("# EOF"), std::string::npos);
+
+  // The families promised by the protocol are present before any request.
+  for (const char* needle :
+       {"# TYPE spiv_serve_requests_total counter",
+        "# TYPE spiv_pool_queue_depth gauge", "spiv_pool_jobs_executed_total",
+        "spiv_store_memory_hits_total", "spiv_store_disk_hits_total",
+        "spiv_store_misses_total",
+        "spiv_stage_seconds_bucket{stage=\"synthesis\",le=\"+Inf\"}",
+        "spiv_stage_seconds_bucket{stage=\"validation\",le=\"+Inf\"}"})
+    EXPECT_NE(first.find(needle), std::string::npos) << needle;
+
+  // Counters increase monotonically from the first scrape to the second.
+  const double req0 = sample_value(first, "spiv_serve_requests_total");
+  const double req1 = sample_value(second, "spiv_serve_requests_total");
+  ASSERT_GE(req0, 0.0);
+  EXPECT_EQ(req1, req0 + 1.0);
+  EXPECT_GE(sample_value(second, "spiv_pool_jobs_executed_total"),
+            sample_value(first, "spiv_pool_jobs_executed_total") + 1.0);
+  EXPECT_GE(sample_value(second, "spiv_store_misses_total"),
+            sample_value(first, "spiv_store_misses_total") + 1.0);
+  // The idle pool's queue depth gauge reads zero again after the request.
+  EXPECT_EQ(sample_value(second, "spiv_pool_queue_depth"), 0.0);
 }
 
 }  // namespace

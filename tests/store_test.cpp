@@ -194,17 +194,20 @@ TEST(CertStore, DiskRoundTripAcrossInstances) {
   const std::string key = request_key(sample_request());
   {
     CertStore store{dir.path()};
-    EXPECT_FALSE(store.lookup(key).has_value());
+    EXPECT_EQ(store.lookup(key), nullptr);
     store.insert(key, sample_record());
     EXPECT_EQ(store.stats().writes, 1u);
   }
   CertStore fresh{dir.path()};  // cold memory tier: must come from disk
   auto rec = fresh.lookup(key);
-  ASSERT_TRUE(rec.has_value());
+  ASSERT_NE(rec, nullptr);
   expect_records_equal(sample_record(), *rec);
   EXPECT_EQ(fresh.stats().disk_hits, 1u);
-  // Second lookup is served from memory.
-  EXPECT_TRUE(fresh.lookup(key).has_value());
+  // Second lookup is served from memory — and shares the cached record
+  // instead of deep-copying it.
+  auto again = fresh.lookup(key);
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(again.get(), rec.get());
   EXPECT_EQ(fresh.stats().memory_hits, 1u);
 }
 
@@ -229,12 +232,12 @@ TEST(CertStore, CorruptTruncatedAndMismatchedEntriesAreMisses) {
   const std::string good = buf.str();
   in.close();
 
-  EXPECT_FALSE(damaged_lookup(good.substr(0, good.size() - 7)).has_value());
+  EXPECT_EQ(damaged_lookup(good.substr(0, good.size() - 7)), nullptr);
   std::string flipped = good;
   flipped[flipped.size() / 2] ^= 0x20;
-  EXPECT_FALSE(damaged_lookup(flipped).has_value());
-  EXPECT_FALSE(damaged_lookup("spiv-cert v7 garbage\n").has_value());
-  EXPECT_FALSE(damaged_lookup("").has_value());
+  EXPECT_EQ(damaged_lookup(flipped), nullptr);
+  EXPECT_EQ(damaged_lookup("spiv-cert v7 garbage\n"), nullptr);
+  EXPECT_EQ(damaged_lookup(""), nullptr);
 
   // A fresh insert repairs the damaged entry.
   {
@@ -242,10 +245,10 @@ TEST(CertStore, CorruptTruncatedAndMismatchedEntriesAreMisses) {
     out << "garbage";
   }
   CertStore repair{dir.path()};
-  EXPECT_FALSE(repair.lookup(key).has_value());
+  EXPECT_EQ(repair.lookup(key), nullptr);
   repair.insert(key, sample_record());
   auto rec = repair.lookup(key);
-  ASSERT_TRUE(rec.has_value());
+  ASSERT_NE(rec, nullptr);
   expect_records_equal(sample_record(), *rec);
 }
 
@@ -258,10 +261,27 @@ TEST(CertStore, LruEvictionFallsBackToDisk) {
   for (int i = 0; i < 6; ++i)
     keys.push_back(request_key(sample_request(1.0 + i)));
   for (const auto& k : keys) store.insert(k, sample_record());
-  for (const auto& k : keys) EXPECT_TRUE(store.lookup(k).has_value()) << k;
+  for (const auto& k : keys) EXPECT_NE(store.lookup(k), nullptr) << k;
   const StoreStats s = store.stats();
   EXPECT_EQ(s.memory_hits + s.disk_hits, keys.size());
   EXPECT_EQ(s.misses, 0u);
+}
+
+TEST(CertStore, UppercaseAndGarbageKeysShardSafely) {
+  TempDir dir{"oddkeys"};
+  CertStore store{dir.path()};
+  // Keys normally end in a lowercase-hex nibble; the shard picker must
+  // still behave for caller-supplied keys ending in uppercase hex or
+  // arbitrary bytes (the old arithmetic wrapped `c - '0'` negative).
+  const CertRecord rec = sample_record();
+  for (const std::string key :
+       {"0123456789ABCDEF", "oddkeyZ", "oddkey!", "oddkey~", "K"}) {
+    EXPECT_EQ(store.lookup(key), nullptr) << key;
+    store.insert(key, rec);
+    auto hit = store.lookup(key);
+    ASSERT_NE(hit, nullptr) << key;
+    expect_records_equal(rec, *hit);
+  }
 }
 
 // ---------------------------------------------------------- concurrency
@@ -301,7 +321,7 @@ TEST(CertStore, WorkersRacingOneKeyProduceOneEntryAndIdenticalResults) {
   EXPECT_EQ(files, 1u);
 
   auto final_rec = store.lookup(key);
-  ASSERT_TRUE(final_rec.has_value());
+  ASSERT_NE(final_rec, nullptr);
   expect_records_equal(record, *final_rec);
 }
 

@@ -1,0 +1,76 @@
+// Tests for the cooperative Deadline/CancelToken, in particular the
+// saturation of absurdly large budgets: an unchecked duration_cast used to
+// overflow steady_clock's representable range into a *past* expiry, so
+// `spiv-serve --timeout 1e18` timed every request out instantly.
+#include "exact/timeout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <limits>
+#include <thread>
+
+namespace spiv {
+namespace {
+
+TEST(Deadline, DefaultConstructedNeverExpires) {
+  const Deadline d;
+  EXPECT_FALSE(d.expired());
+  EXPECT_NO_THROW(d.check());
+}
+
+TEST(Deadline, HugeBudgetSaturatesInsteadOfOverflowing) {
+  // 1e18 seconds (~31 Gyr) does not fit in steady_clock ticks; it must
+  // clamp to "effectively never", not wrap into the past.
+  const Deadline d = Deadline::after_seconds(1e18);
+  EXPECT_FALSE(d.expired());
+  EXPECT_NO_THROW(d.check());
+  // Budgets past even double's comfortable range behave the same.
+  EXPECT_FALSE(Deadline::after_seconds(1e300).expired());
+  EXPECT_FALSE(
+      Deadline{std::chrono::duration<double>(
+                   std::numeric_limits<double>::infinity())}
+          .expired());
+}
+
+TEST(Deadline, ReasonableBudgetDoesNotExpireImmediately) {
+  const Deadline d = Deadline::after_seconds(60.0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_NO_THROW(d.check());
+}
+
+TEST(Deadline, TinyBudgetExpires) {
+  const Deadline d = Deadline::after_seconds(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(d.expired());
+  EXPECT_THROW(d.check(), TimeoutError);
+}
+
+TEST(Deadline, CancelTokenExpiresEvenSaturatedBudgets) {
+  const CancelToken token;
+  const Deadline d = Deadline::after_seconds(1e18, token);
+  EXPECT_FALSE(d.expired());
+  token.cancel();
+  EXPECT_TRUE(d.expired());
+  EXPECT_THROW(d.check(), TimeoutError);
+}
+
+TEST(Deadline, WithTokenLeavesOriginalUnbound) {
+  const CancelToken token;
+  const Deadline base = Deadline::after_seconds(3600.0);
+  const Deadline bound = base.with_token(token);
+  token.cancel();
+  EXPECT_TRUE(bound.expired());
+  EXPECT_FALSE(base.expired());
+}
+
+TEST(CancelToken, CopiesShareOneFlag) {
+  const CancelToken token;
+  const CancelToken copy = token;
+  EXPECT_FALSE(copy.cancelled());
+  token.cancel();
+  EXPECT_TRUE(copy.cancelled());
+}
+
+}  // namespace
+}  // namespace spiv
