@@ -3,14 +3,19 @@
 //   (a) vech (symmetric) vs full-Kronecker parameterization of the exact
 //       Lyapunov solve — the paper's eq-smt method hinges on the smaller
 //       system (n(n+1)/2 vs n^2 unknowns);
-//   (b) digits of the input rationalization (binary-exact doubles vs
-//       integer-rounded matrices) — why the paper's integer-truncated
-//       benchmark variants are so much cheaper for eq-smt.
+//   (b) fraction-free Bareiss vs the multi-modular CRT solver on the vech
+//       system — where the SPIV_EXACT_SOLVER=modular|auto speedup comes
+//       from, including the first size-10 eq-smt row that finishes at all.
+//
+// Section (b) is also written to BENCH_exact_solvers.json (with machine
+// metadata) so the bareiss/modular ratio can be tracked across commits.
 #include <chrono>
 #include <cstdio>
+#include <sstream>
 
 #include "bench_common.hpp"
 #include "exact/lyapunov_exact.hpp"
+#include "exact/modular.hpp"
 #include "model/reduction.hpp"
 
 namespace {
@@ -22,10 +27,29 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+const char* cell(double t, char (&buf)[32]) {
+  if (t < 0)
+    std::snprintf(buf, sizeof buf, "TO");
+  else
+    std::snprintf(buf, sizeof buf, "%.3f", t);
+  return buf;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_out = bench::metrics_out_path(argc, argv);
   const double budget = bench::env_double("SPIV_SYNTH_TIMEOUT", 60.0);
+  const std::vector<std::size_t> sizes =
+      bench::env_sizes(bench::env_flag("SPIV_QUICK")
+                           ? std::vector<std::size_t>{3, 5}
+                           : std::vector<std::size_t>{3, 5, 10});
+  const auto wanted = [&sizes](std::size_t s) {
+    for (std::size_t w : sizes)
+      if (w == s) return true;
+    return false;
+  };
+
   std::printf("ABLATION — exact Lyapunov solve: vech vs full Kronecker, "
               "exact-double vs integer inputs (budget %.0fs per cell)\n",
               budget);
@@ -33,7 +57,7 @@ int main() {
               "kron (s)", "kron/vech");
 
   for (const auto& bm : model::make_benchmark_family()) {
-    if (bm.size > 5) continue;  // the full-Kronecker variant explodes fast
+    if (bm.size > 5 || !wanted(bm.size)) continue;  // kron explodes fast
     auto mode =
         model::close_loop_single_mode(bm.plant, model::engine_gains_mode0());
     const std::size_t d = mode.a.rows();
@@ -63,22 +87,87 @@ int main() {
     char ratio[32] = "-";
     if (t_vech > 0 && t_kron > 0)
       std::snprintf(ratio, sizeof ratio, "%.1fx", t_kron / t_vech);
-    auto cell = [](double t) {
-      static char buf[2][32];
-      static int which = 0;
-      which ^= 1;
-      if (t < 0)
-        std::snprintf(buf[which], 32, "TO");
-      else
-        std::snprintf(buf[which], 32, "%.3f", t);
-      return buf[which];
-    };
+    char b1[32], b2[32];
     std::printf("%-8s %8zu %14s %14s %14s\n", bm.name.c_str(), d,
-                cell(t_vech), cell(t_kron), ratio);
+                cell(t_vech, b1), cell(t_kron, b2), ratio);
   }
   std::printf("\n(integer-rounded variants — the 'i' rows — are cheaper "
               "because the closed-loop matrices have small integer entries,\n"
               " which is exactly why the paper includes them as 'simpler "
               "numerical inputs')\n");
+
+  // ---- (b) Bareiss vs multi-modular on the vech system -------------------
+  std::printf("\nABLATION — exact linear solve backend on the vech system "
+              "(budget %.0fs per cell)\n", budget);
+  std::printf("%-8s %6s %6s %14s %14s %10s %8s %8s\n", "model", "dim",
+              "vech-N", "bareiss (s)", "modular (s)", "speedup", "primes",
+              "same");
+  std::ostringstream rows;
+  bool first = true;
+  for (const auto& bm : model::make_benchmark_family()) {
+    if (!wanted(bm.size)) continue;
+    auto mode =
+        model::close_loop_single_mode(bm.plant, model::engine_gains_mode0());
+    const std::size_t d = mode.a.rows();
+    exact::RatMatrix a_exact = exact::rat_matrix_from_doubles(
+        mode.a.data().data(), d, d, /*digits=*/0);
+    exact::RatMatrix q = exact::RatMatrix::identity(d);
+    exact::RatMatrix op = exact::lyapunov_operator_vech(a_exact);
+    const std::vector<exact::Rational> rhs_vec = exact::vech(-q);
+    exact::RatMatrix rhs{op.rows(), 1};
+    for (std::size_t i = 0; i < rhs_vec.size(); ++i) rhs(i, 0) = rhs_vec[i];
+
+    double t_bareiss = -1.0, t_modular = -1.0;
+    std::optional<exact::RatMatrix> x_bareiss, x_modular;
+    {
+      auto t0 = Clock::now();
+      try {
+        x_bareiss = op.solve(rhs, Deadline::after_seconds(budget));
+        if (x_bareiss) t_bareiss = seconds_since(t0);
+      } catch (const TimeoutError&) {
+      }
+    }
+    exact::ModularStats stats;
+    {
+      exact::ModularOptions options;
+      options.stats = &stats;
+      auto t0 = Clock::now();
+      try {
+        x_modular = exact::solve_rational_modular(
+            op, rhs, Deadline::after_seconds(budget), options);
+        if (x_modular) t_modular = seconds_since(t0);
+      } catch (const TimeoutError&) {
+      }
+    }
+    const bool both = x_bareiss.has_value() && x_modular.has_value();
+    const bool identical = both && *x_bareiss == *x_modular;
+    char ratio[32] = "-";
+    if (t_bareiss > 0 && t_modular > 0)
+      std::snprintf(ratio, sizeof ratio, "%.1fx", t_bareiss / t_modular);
+    char b1[32], b2[32];
+    std::printf("%-8s %6zu %6zu %14s %14s %10s %8llu %8s\n", bm.name.c_str(),
+                d, op.rows(), cell(t_bareiss, b1), cell(t_modular, b2), ratio,
+                static_cast<unsigned long long>(stats.primes_used),
+                both ? (identical ? "yes" : "NO") : "-");
+
+    rows << (first ? "\n" : ",\n") << "    {\"model\": \"" << bm.name
+         << "\", \"size\": " << bm.size << ", \"dim\": " << d
+         << ", \"vech_unknowns\": " << op.rows()
+         << ", \"bareiss_seconds\": " << (t_bareiss < 0 ? -1.0 : t_bareiss)
+         << ", \"modular_seconds\": " << (t_modular < 0 ? -1.0 : t_modular)
+         << ", \"primes_used\": " << stats.primes_used
+         << ", \"unlucky_primes\": " << stats.unlucky_primes
+         << ", \"early_exit\": " << (stats.early_exit ? "true" : "false")
+         << ", \"identical\": " << (identical ? "true" : "false") << "}";
+    first = false;
+  }
+  std::ostringstream json;
+  json << "{\n  \"experiment\": \"exact_solvers\",\n  "
+       << bench::machine_meta_fields() << ",\n  \"budget_seconds\": " << budget
+       << ",\n  \"cells\": [" << rows.str() << "\n  ]\n}\n";
+  core::write_file("BENCH_exact_solvers.json", json.str());
+  std::printf("\n(-1 seconds = timed out at the budget; backend comparison "
+              "written to BENCH_exact_solvers.json)\n");
+  bench::write_metrics(metrics_out);
   return 0;
 }

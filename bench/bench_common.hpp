@@ -18,17 +18,41 @@
 // in BENCH_*.json gain an attributable stage breakdown.
 #pragma once
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/experiments.hpp"
 #include "core/format.hpp"
 #include "obs/metrics.hpp"
 
+// Short git commit of the build, injected by bench/CMakeLists.txt.
+#ifndef SPIV_GIT_COMMIT
+#define SPIV_GIT_COMMIT "unknown"
+#endif
+
 namespace spiv::bench {
+
+/// Machine/build identification for BENCH_*.json files, rendered as
+/// top-level `"key": value` pairs (no surrounding braces) so the emitters
+/// can splice them next to "jobs" and "wall_seconds".  A benchmark number
+/// without the host, core count, and commit that produced it cannot be
+/// compared against later runs.
+inline std::string machine_meta_fields() {
+  char host[256] = {};
+  if (::gethostname(host, sizeof host - 1) != 0)
+    std::snprintf(host, sizeof host, "unknown");
+  std::ostringstream os;
+  os << "\"hostname\": \"" << host
+     << "\", \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+     << ", \"git_commit\": \"" << SPIV_GIT_COMMIT << "\"";
+  return os.str();
+}
 
 inline double env_double(const char* name, double fallback) {
   const char* v = std::getenv(name);

@@ -6,6 +6,7 @@
 #include <random>
 
 #include "exact/lyapunov_exact.hpp"
+#include "exact/modular.hpp"
 #include "lyapunov/synthesis.hpp"
 #include "model/reduction.hpp"
 #include "numeric/eigen.hpp"
@@ -37,6 +38,56 @@ void BM_BigIntMultiply(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(big * big);
 }
 BENCHMARK(BM_BigIntMultiply)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_BigIntGcd(benchmark::State& state) {
+  // Operands sharing a large common factor — the shape Rational
+  // cross-cancellation feeds the binary gcd on the exact hot path.
+  const auto limbs = static_cast<unsigned>(state.range(0));
+  const exact::BigInt g = exact::BigInt{"987654321987654321"}.pow(limbs);
+  const exact::BigInt a = g * exact::BigInt{"1000000007"};
+  const exact::BigInt b = g * exact::BigInt{"998244353"};
+  for (auto _ : state) benchmark::DoNotOptimize(exact::BigInt::gcd(a, b));
+}
+BENCHMARK(BM_BigIntGcd)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_MontgomeryMulInv(benchmark::State& state) {
+  // The inner product of the per-prime elimination kernel: one Montgomery
+  // multiply per matrix entry per pivot, plus the occasional inverse.
+  const exact::Montgomery62 mont{exact::modular_prime(0)};
+  std::uint64_t x = mont.to_mont(123456789u);
+  const std::uint64_t y = mont.to_mont(987654321u);
+  for (auto _ : state) {
+    x = mont.mul(x, y);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_MontgomeryMulInv);
+
+void BM_ModularVsBareissSolve(benchmark::State& state) {
+  // Whole-solver comparison on one vech-sized system (state.range(1) = 1
+  // selects the modular backend) — the per-prime kernel overhead shows up
+  // as the gap between the two at small sizes.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_hurwitz(n, 11);
+  exact::RatMatrix a_exact =
+      exact::rat_matrix_from_doubles(a.data().data(), n, n, 4);
+  exact::RatMatrix op = exact::lyapunov_operator_vech(a_exact);
+  exact::RatMatrix rhs{op.rows(), 1};
+  const auto v = exact::vech(exact::RatMatrix::identity(n) * exact::Rational{-1});
+  for (std::size_t i = 0; i < v.size(); ++i) rhs(i, 0) = v[i];
+  const bool modular = state.range(1) == 1;
+  for (auto _ : state) {
+    if (modular)
+      benchmark::DoNotOptimize(exact::solve_rational_modular(op, rhs));
+    else
+      benchmark::DoNotOptimize(op.solve(rhs));
+  }
+}
+BENCHMARK(BM_ModularVsBareissSolve)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({6, 0})
+    ->Args({6, 1});
 
 void BM_RationalMatrixMultiply(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

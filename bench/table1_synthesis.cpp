@@ -42,6 +42,7 @@ std::string service_bench_json(double cold_seconds, double warm_seconds,
   std::ostringstream os;
   os << "{\n";
   os << "  \"experiment\": \"table1-cold-warm\",\n";
+  os << "  " << spiv::bench::machine_meta_fields() << ",\n";
   os << "  \"jobs\": " << jobs << ",\n";
   os << "  \"cold_seconds\": " << cold_seconds << ",\n";
   os << "  \"warm_seconds\": " << warm_seconds << ",\n";
@@ -72,7 +73,8 @@ int main(int argc, char** argv) {
   std::cout << core::format_table1(result);
   core::write_file("table1.csv", core::table1_csv(result));
   core::write_file("BENCH_table1.json",
-                   core::table1_bench_json(result, wall, jobs));
+                   core::table1_bench_json(result, wall, jobs,
+                                           bench::machine_meta_fields()));
   std::cout << "(CSV written to table1.csv; harness wall-clock " << wall
             << " s with " << jobs
             << " worker(s) recorded in BENCH_table1.json)\n";

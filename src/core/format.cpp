@@ -94,10 +94,12 @@ std::string table1_csv(const Table1Result& result) {
 }
 
 std::string table1_bench_json(const Table1Result& result, double wall_seconds,
-                              std::size_t jobs) {
+                              std::size_t jobs,
+                              const std::string& meta_fields) {
   std::ostringstream os;
   os << "{\n";
   os << "  \"experiment\": \"table1\",\n";
+  if (!meta_fields.empty()) os << "  " << meta_fields << ",\n";
   os << "  \"jobs\": " << jobs << ",\n";
   os << "  \"wall_seconds\": " << fixed(wall_seconds, 6) << ",\n";
   os << "  \"cells\": [";

@@ -1,6 +1,7 @@
 #include "exact/bigint.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <ostream>
@@ -374,15 +375,98 @@ std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) {
   return std::strong_ordering::equal;
 }
 
+namespace {
+
+/// Binary gcd on machine words (operands need not be odd).
+std::uint64_t gcd_u64(std::uint64_t a, std::uint64_t b) {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  const int shift = std::countr_zero(a | b);
+  a >>= std::countr_zero(a);
+  while (b != 0) {
+    b >>= std::countr_zero(b);
+    if (a > b) std::swap(a, b);
+    b -= a;
+  }
+  return a << shift;
+}
+
+}  // namespace
+
 BigInt BigInt::gcd(BigInt a, BigInt b) {
   a.negative_ = false;
   b.negative_ = false;
-  while (!b.is_zero()) {
-    BigInt r = a % b;
-    a = std::move(b);
-    b = std::move(r);
+  if (a.is_zero()) return b;
+  if (b.is_zero()) return a;
+  auto trailing_zeros = [](const std::vector<Limb>& v) {
+    std::size_t bits = 0;
+    std::size_t i = 0;
+    while (v[i] == 0) {
+      bits += kLimbBits;
+      ++i;
+    }
+    return bits + static_cast<std::size_t>(std::countr_zero(v[i]));
+  };
+  auto shr_in_place = [](std::vector<Limb>& v, std::size_t bits) {
+    const std::size_t limb_shift = bits / kLimbBits;
+    const unsigned bit_shift = static_cast<unsigned>(bits % kLimbBits);
+    if (limb_shift)
+      v.erase(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(limb_shift));
+    if (bit_shift && !v.empty()) {
+      for (std::size_t i = 0; i + 1 < v.size(); ++i)
+        v[i] = (v[i] >> bit_shift) | (v[i + 1] << (kLimbBits - bit_shift));
+      v.back() >>= bit_shift;
+    }
+    while (!v.empty() && v.back() == 0) v.pop_back();
+  };
+  auto fits_u64 = [](const std::vector<Limb>& v) { return v.size() <= 2; };
+  auto to_u64 = [](const std::vector<Limb>& v) {
+    std::uint64_t out = v.empty() ? 0 : v[0];
+    if (v.size() == 2) out |= static_cast<std::uint64_t>(v[1]) << 32;
+    return out;
+  };
+  // gcd(a, b) = 2^common * gcd(a odd-part, b odd-part) — factor the shared
+  // power of two out once, then run odd-only Stein.
+  const std::size_t common =
+      std::min(trailing_zeros(a.limbs_), trailing_zeros(b.limbs_));
+  shr_in_place(a.limbs_, trailing_zeros(a.limbs_));
+  shr_in_place(b.limbs_, trailing_zeros(b.limbs_));
+  std::uint64_t word_gcd = 0;
+  for (;;) {
+    if (fits_u64(a.limbs_) && fits_u64(b.limbs_)) {
+      word_gcd = gcd_u64(to_u64(a.limbs_), to_u64(b.limbs_));
+      break;
+    }
+    const int cmp = compare_magnitude(a.limbs_, b.limbs_);
+    if (cmp == 0) {
+      word_gcd = 0;  // answer is a itself
+      break;
+    }
+    if (cmp < 0) a.limbs_.swap(b.limbs_);
+    // a, b odd and a > b: a - b is even, so at least one halving follows.
+    a.limbs_ = sub_magnitude(a.limbs_, b.limbs_);
+    shr_in_place(a.limbs_, trailing_zeros(a.limbs_));
   }
-  return a;
+  BigInt g;
+  if (word_gcd != 0) {
+    g.limbs_.push_back(static_cast<Limb>(word_gcd & 0xffffffffu));
+    if (word_gcd >> 32) g.limbs_.push_back(static_cast<Limb>(word_gcd >> 32));
+  } else {
+    g.limbs_ = std::move(a.limbs_);
+  }
+  return common ? g.shifted_left(common) : g;
+}
+
+std::uint64_t BigInt::mod_u64(std::uint64_t m) const {
+  if (m == 0) throw std::domain_error("BigInt: mod_u64 by zero");
+  std::uint64_t rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    const unsigned __int128 cur =
+        (static_cast<unsigned __int128>(rem) << kLimbBits) | limbs_[i];
+    rem = static_cast<std::uint64_t>(cur % m);
+  }
+  if (negative_ && rem != 0) rem = m - rem;
+  return rem;
 }
 
 BigInt BigInt::pow(unsigned e) const {

@@ -78,7 +78,15 @@ class BigInt {
                                                          const BigInt& den);
 
   /// Greatest common divisor, always non-negative. gcd(0,0) == 0.
+  /// Binary (Stein) algorithm: shift/subtract only — no divmod per step —
+  /// with a single-word kernel once both operands fit in uint64.  This
+  /// sits under every Rational::normalize() on the exact hot path.
   [[nodiscard]] static BigInt gcd(BigInt a, BigInt b);
+
+  /// Canonical residue of the signed value in [0, m); throws
+  /// std::domain_error when m == 0.  One u128 division per limb — the
+  /// BigInt -> machine-word reduction of the multi-modular solver.
+  [[nodiscard]] std::uint64_t mod_u64(std::uint64_t m) const;
 
   /// this^e for e >= 0 (binary exponentiation).
   [[nodiscard]] BigInt pow(unsigned e) const;

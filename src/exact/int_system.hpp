@@ -1,0 +1,48 @@
+// spiv::exact — shared integer form of a rational linear system.
+//
+// Both exact solvers (fraction-free Bareiss in matrix.cpp and the
+// multi-modular CRT solver in modular.cpp) start the same way: multiply
+// each row of the rational augmented system [A | B] by the LCM of its
+// denominators so all arithmetic happens over integers.  This header keeps
+// that preprocessing in one place; `row_scales` records the per-row LCMs
+// needed to undo the scaling (determinants) — the *solution* of the scaled
+// system is unchanged, since scaling a row of [A | b] scales both sides.
+#pragma once
+
+#include <vector>
+
+#include "exact/matrix.hpp"
+
+namespace spiv::exact::detail {
+
+/// Integer augmented system [M | R] with per-row scale factors.
+struct IntSystem {
+  std::vector<std::vector<BigInt>> m;
+  std::vector<std::vector<BigInt>> rhs;
+  std::vector<BigInt> row_scales;
+};
+
+/// Clear denominators row-wise; `b` may be nullptr (no right-hand side).
+inline IntSystem clear_denominators(const RatMatrix& a, const RatMatrix* b) {
+  const std::size_t n = a.rows();
+  const std::size_t k = b ? b->cols() : 0;
+  IntSystem sys;
+  sys.m.assign(n, std::vector<BigInt>(a.cols()));
+  sys.rhs.assign(n, std::vector<BigInt>(k));
+  sys.row_scales.assign(n, BigInt{1});
+  for (std::size_t i = 0; i < n; ++i) {
+    BigInt& l = sys.row_scales[i];
+    auto fold = [&l](const Rational& v) {
+      if (!v.den().is_one()) l = l / BigInt::gcd(l, v.den()) * v.den();
+    };
+    for (std::size_t j = 0; j < a.cols(); ++j) fold(a(i, j));
+    for (std::size_t j = 0; j < k; ++j) fold((*b)(i, j));
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      sys.m[i][j] = a(i, j).num() * (l / a(i, j).den());
+    for (std::size_t j = 0; j < k; ++j)
+      sys.rhs[i][j] = (*b)(i, j).num() * (l / (*b)(i, j).den());
+  }
+  return sys;
+}
+
+}  // namespace spiv::exact::detail

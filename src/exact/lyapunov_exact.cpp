@@ -1,8 +1,109 @@
 #include "exact/lyapunov_exact.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
+#include "exact/modular.hpp"
+#include "obs/metrics.hpp"
+
 namespace spiv::exact {
+
+namespace {
+
+obs::Counter& fallback_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("spiv_modular_fallback_total");
+  return c;
+}
+
+obs::Histogram& residual_check_seconds() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "spiv_modular_residual_check_seconds");
+  return h;
+}
+
+// Eager registration: the family shows up in `spiv-serve metrics` /
+// --metrics-out scrapes before the first modular solve runs.
+[[maybe_unused]] const bool kResidualMetricRegistered =
+    (residual_check_seconds(), true);
+
+/// Exact check that A^T P + P A + Q == 0, performed over the integers: the
+/// rational form would pay a multi-thousand-bit gcd per entry product (P's
+/// entries carry det-sized numerators), which is slower than the solve it
+/// is guarding.  Scaling each matrix by the lcm of its denominators turns
+/// the whole residual into BigInt multiply/accumulate.
+bool lyapunov_residual_is_zero(const RatMatrix& a, const RatMatrix& p,
+                               const RatMatrix& q,
+                               const Deadline& deadline) {
+  const auto t0 = std::chrono::steady_clock::now();
+  struct Observe {
+    std::chrono::steady_clock::time_point t0;
+    ~Observe() {
+      residual_check_seconds().observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+  } observe{t0};
+  const std::size_t n = a.rows();
+  const auto common_den = [n](const RatMatrix& m) {
+    BigInt d{1};
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        const BigInt& den = m(i, j).den();
+        if (den.is_one() || den == d) continue;
+        d = d / BigInt::gcd(d, den) * den;
+      }
+    return d;
+  };
+  const auto scaled = [n](const RatMatrix& m, const BigInt& d) {
+    std::vector<BigInt> out(n * n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        out[i * n + j] = m(i, j).num() * (d / m(i, j).den());
+    return out;
+  };
+  const BigInt da = common_den(a), dp = common_den(p), dq = common_den(q);
+  const std::vector<BigInt> ai = scaled(a, da);
+  const std::vector<BigInt> pi = scaled(p, dp);
+  const std::vector<BigInt> qi = scaled(q, dq);
+  // (Ai^T Pi + Pi Ai) dq + Qi da dp == 0  <=>  (A^T P + P A + Q) da dp dq == 0.
+  const BigInt qscale = da * dp;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      deadline.check();
+      BigInt acc;
+      for (std::size_t l = 0; l < n; ++l) {
+        if (!ai[l * n + i].is_zero() && !pi[l * n + j].is_zero())
+          acc += ai[l * n + i] * pi[l * n + j];  // (A^T)(i,l) P(l,j)
+        if (!pi[i * n + l].is_zero() && !ai[l * n + j].is_zero())
+          acc += pi[i * n + l] * ai[l * n + j];  // P(i,l) A(l,j)
+      }
+      if (!(acc * dq + qi[i * n + j] * qscale).is_zero()) return false;
+    }
+  return true;
+}
+
+/// Multi-modular solve of op x = rhs (column vector).  nullopt means "use
+/// Bareiss": the strategy didn't select modular, the system looks singular,
+/// or reconstruction failed.  Only genuine failures count as fallbacks.
+std::optional<std::vector<Rational>> try_modular_solve(
+    const RatMatrix& op, const std::vector<Rational>& rhs,
+    const Deadline& deadline) {
+  if (!modular_preferred(op.rows(), exact_solver_strategy()))
+    return std::nullopt;
+  RatMatrix b{op.rows(), 1};
+  for (std::size_t i = 0; i < rhs.size(); ++i) b(i, 0) = rhs[i];
+  auto x = solve_rational_modular(op, b, deadline);
+  if (!x) {
+    fallback_counter().add();
+    return std::nullopt;
+  }
+  std::vector<Rational> out(op.rows());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::move((*x)(i, 0));
+  return out;
+}
+
+}  // namespace
 
 std::size_t vech_index(std::size_t i, std::size_t j, std::size_t n) {
   if (i < j) std::swap(i, j);
@@ -65,9 +166,18 @@ std::optional<RatMatrix> solve_lyapunov_exact(const RatMatrix& a,
     throw std::invalid_argument("solve_lyapunov_exact: Q must be symmetric");
   const std::size_t n = a.rows();
   RatMatrix op = lyapunov_operator_vech(a, deadline);
+  const std::vector<Rational> rhs = vech(-q);
+  if (auto xm = try_modular_solve(op, rhs, deadline)) {
+    RatMatrix p = unvech(*xm, n);
+    // The modular path already verified op·x == rhs; this recheck is the
+    // belt-and-braces guarantee that what we hand out satisfies the
+    // *Lyapunov equation*, independent of how op was assembled.
+    if (lyapunov_residual_is_zero(a, p, q, deadline)) return p;
+    fallback_counter().add();
+  }
   // Deadline-aware fraction-free solve (RatMatrix::solve polls the deadline
   // and any attached CancelToken at row granularity).
-  auto x = op.solve(vech(-q), deadline);
+  auto x = op.solve(rhs, deadline);
   if (!x) return std::nullopt;
   return unvech(*x, n);
 }
@@ -91,12 +201,21 @@ std::optional<RatMatrix> solve_lyapunov_exact_full_kronecker(
   for (std::size_t col = 0; col < n; ++col)
     for (std::size_t row = 0; row < n; ++row)
       rhs[col * n + row] = -q(row, col);
+  const auto unstack = [n](const std::vector<Rational>& v) {
+    RatMatrix p{n, n};
+    for (std::size_t col = 0; col < n; ++col)
+      for (std::size_t row = 0; row < n; ++row)
+        p(row, col) = v[col * n + row];
+    return p;
+  };
+  if (auto xm = try_modular_solve(op, rhs, deadline)) {
+    RatMatrix p = unstack(*xm).symmetrized();
+    if (lyapunov_residual_is_zero(a, p, q, deadline)) return p;
+    fallback_counter().add();
+  }
   auto x = op.solve(rhs, deadline);
   if (!x) return std::nullopt;
-  RatMatrix p{n, n};
-  for (std::size_t col = 0; col < n; ++col)
-    for (std::size_t row = 0; row < n; ++row) p(row, col) = (*x)[col * n + row];
-  return p.symmetrized();
+  return unstack(*x).symmetrized();
 }
 
 }  // namespace spiv::exact

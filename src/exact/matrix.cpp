@@ -3,6 +3,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "exact/int_system.hpp"
+
 namespace spiv::exact {
 
 RatMatrix::RatMatrix(std::size_t rows, std::size_t cols)
@@ -95,36 +97,8 @@ RatMatrix RatMatrix::symmetrized() const {
 
 namespace {
 
-/// Integer augmented system [M | R] obtained from a rational one by
-/// multiplying each row by the LCM of its denominators.  `row_scales[i]`
-/// records that LCM (needed to recover determinants).
-struct IntSystem {
-  std::vector<std::vector<BigInt>> m;
-  std::vector<std::vector<BigInt>> rhs;
-  std::vector<BigInt> row_scales;
-};
-
-IntSystem clear_denominators(const RatMatrix& a, const RatMatrix* b) {
-  const std::size_t n = a.rows();
-  const std::size_t k = b ? b->cols() : 0;
-  IntSystem sys;
-  sys.m.assign(n, std::vector<BigInt>(a.cols()));
-  sys.rhs.assign(n, std::vector<BigInt>(k));
-  sys.row_scales.assign(n, BigInt{1});
-  for (std::size_t i = 0; i < n; ++i) {
-    BigInt& l = sys.row_scales[i];
-    auto fold = [&l](const Rational& v) {
-      if (!v.den().is_one()) l = l / BigInt::gcd(l, v.den()) * v.den();
-    };
-    for (std::size_t j = 0; j < a.cols(); ++j) fold(a(i, j));
-    for (std::size_t j = 0; j < k; ++j) fold((*b)(i, j));
-    for (std::size_t j = 0; j < a.cols(); ++j)
-      sys.m[i][j] = a(i, j).num() * (l / a(i, j).den());
-    for (std::size_t j = 0; j < k; ++j)
-      sys.rhs[i][j] = (*b)(i, j).num() * (l / (*b)(i, j).den());
-  }
-  return sys;
-}
+using detail::IntSystem;
+using detail::clear_denominators;
 
 /// One sweep of fraction-free Bareiss elimination on an integer augmented
 /// system, with smallest-entry pivoting.  Every division by the previous

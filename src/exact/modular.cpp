@@ -1,0 +1,569 @@
+#include "exact/modular.hpp"
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "exact/int_system.hpp"
+#include "obs/metrics.hpp"
+
+namespace spiv::exact {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Hot-path metric handles, resolved once.  Constructed eagerly below so
+/// the whole family is present in `spiv-serve metrics` / --metrics-out
+/// output even before the first modular solve runs.
+struct Metrics {
+  obs::Histogram& prime_solve_seconds = obs::Registry::global().histogram(
+      "spiv_modular_prime_solve_seconds");
+  obs::Histogram& reconstruct_seconds = obs::Registry::global().histogram(
+      "spiv_modular_reconstruct_seconds");
+  obs::Counter& primes_used =
+      obs::Registry::global().counter("spiv_modular_primes_used_total");
+  obs::Counter& unlucky_primes =
+      obs::Registry::global().counter("spiv_modular_unlucky_primes_total");
+  obs::Counter& early_exits =
+      obs::Registry::global().counter("spiv_modular_early_exit_total");
+  obs::Counter& solves =
+      obs::Registry::global().counter("spiv_modular_solves_total");
+  obs::Counter& fallbacks =
+      obs::Registry::global().counter("spiv_modular_fallback_total");
+};
+
+Metrics& metrics() {
+  static Metrics m;
+  return m;
+}
+
+[[maybe_unused]] const bool kMetricsRegistered = (metrics(), true);
+
+// ------------------------------------------------------- prime generation
+
+std::uint64_t mulmod_u64(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      static_cast<unsigned __int128>(a) * b % m);
+}
+
+std::uint64_t powmod_u64(std::uint64_t base, std::uint64_t e,
+                         std::uint64_t m) {
+  std::uint64_t r = 1;
+  base %= m;
+  while (e != 0) {
+    if (e & 1u) r = mulmod_u64(r, base, m);
+    base = mulmod_u64(base, base, m);
+    e >>= 1;
+  }
+  return r;
+}
+
+/// Deterministic Miller–Rabin for 64-bit integers (the 12-base set covers
+/// all n < 2^64).  Only used when extending the cached prime sequence.
+bool is_prime_u64(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                          23ull, 29ull, 31ull, 37ull}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  unsigned r = 0;
+  while ((d & 1u) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (std::uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                          23ull, 29ull, 31ull, 37ull}) {
+    std::uint64_t x = powmod_u64(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool witness = true;
+    for (unsigned i = 1; i < r; ++i) {
+      x = mulmod_u64(x, x, n);
+      if (x == n - 1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+// --------------------------------------------------------- size estimates
+
+/// Bits of a Hadamard-style bound on |det| of the integer matrix, by rows:
+/// |det| <= prod_i ||row_i||_2 <= prod_i sqrt(n) * max_j |m_ij|.
+std::size_t det_bound_bits(const std::vector<std::vector<BigInt>>& m) {
+  const std::size_t n = m.size();
+  const std::size_t half_log = (std::bit_width(n) + 1) / 2;
+  std::size_t bits = 1;
+  for (const auto& row : m) {
+    std::size_t row_bits = 0;
+    for (const BigInt& v : row) row_bits = std::max(row_bits, v.bit_length());
+    bits += row_bits + half_log + 1;
+  }
+  return bits;
+}
+
+/// Bits the CRT modulus must reach so balanced rational reconstruction of
+/// the solution of M x = R is guaranteed: by Cramer, every numerator is a
+/// det of M with a column swapped for an R column and every denominator
+/// divides det(M); both are below the column-Hadamard bound, and balanced
+/// reconstruction needs the modulus to exceed 2 * max(num, den)^2.
+std::size_t solve_budget_bits(const std::vector<std::vector<BigInt>>& m,
+                              const std::vector<std::vector<BigInt>>& rhs) {
+  const std::size_t n = m.size();
+  const std::size_t half_log = (std::bit_width(n) + 1) / 2;
+  std::size_t sum_cols = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    std::size_t col_bits = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      col_bits = std::max(col_bits, m[i][j].bit_length());
+    sum_cols += col_bits + half_log + 1;
+  }
+  std::size_t b_bits = 0;
+  for (const auto& row : rhs)
+    for (const BigInt& v : row) b_bits = std::max(b_bits, v.bit_length());
+  const std::size_t num_bits = sum_cols + b_bits + half_log + 1;
+  return 2 * num_bits + 2;
+}
+
+// ------------------------------------------------------- per-prime kernel
+
+enum class PrimeStatus { Abandoned, Unlucky, Ok };
+
+struct PrimeSolve {
+  std::uint64_t prime = 0;
+  PrimeStatus status = PrimeStatus::Abandoned;
+  /// Plain (non-Montgomery) solution residues, row-major n x k.
+  std::vector<std::uint64_t> x;
+};
+
+/// Solve the integer system mod `out.prime` with dense Gaussian
+/// elimination in Montgomery form.  Never throws: an expired deadline
+/// leaves status == Abandoned (the caller re-checks and raises), a zero
+/// determinant mod p yields Unlucky.
+void solve_one_prime(const detail::IntSystem& sys, std::size_t n,
+                     std::size_t k, const Deadline& deadline,
+                     PrimeSolve& out) {
+  const auto t0 = Clock::now();
+  const Montgomery62 mont{out.prime};
+  const std::uint64_t p = out.prime;
+  const std::size_t w = n + k;
+  std::vector<std::uint64_t> t(n * w);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j)
+      t[i * w + j] = mont.to_mont(sys.m[i][j].mod_u64(p));
+    for (std::size_t c = 0; c < k; ++c)
+      t[i * w + n + c] = mont.to_mont(sys.rhs[i][c].mod_u64(p));
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    if (deadline.expired()) return;  // status stays Abandoned
+    std::size_t pivot = n;
+    for (std::size_t r = col; r < n; ++r) {
+      if (t[r * w + col] != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot == n) {
+      out.status = PrimeStatus::Unlucky;  // det == 0 mod p
+      return;
+    }
+    if (pivot != col)
+      std::swap_ranges(t.begin() + static_cast<std::ptrdiff_t>(pivot * w),
+                       t.begin() + static_cast<std::ptrdiff_t>((pivot + 1) * w),
+                       t.begin() + static_cast<std::ptrdiff_t>(col * w));
+    const std::uint64_t inv_pivot = mont.inv(t[col * w + col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const std::uint64_t lead = t[r * w + col];
+      if (lead == 0) continue;
+      const std::uint64_t f = mont.mul(lead, inv_pivot);
+      t[r * w + col] = 0;
+      for (std::size_t j = col + 1; j < w; ++j)
+        t[r * w + j] = mont.sub(t[r * w + j], mont.mul(f, t[col * w + j]));
+    }
+  }
+  // Back substitution; diagonal inverses are shared across RHS columns.
+  std::vector<std::uint64_t> dinv(n);
+  for (std::size_t i = 0; i < n; ++i) dinv[i] = mont.inv(t[i * w + i]);
+  out.x.assign(n * k, 0);
+  std::vector<std::uint64_t> xm(n);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t i = n; i-- > 0;) {
+      std::uint64_t acc = t[i * w + n + c];
+      for (std::size_t j = i + 1; j < n; ++j)
+        acc = mont.sub(acc, mont.mul(t[i * w + j], xm[j]));
+      xm[i] = mont.mul(acc, dinv[i]);
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      out.x[i * k + c] = mont.from_mont(xm[i]);
+  }
+  out.status = PrimeStatus::Ok;
+  metrics().prime_solve_seconds.observe(seconds_since(t0));
+}
+
+struct PrimeDet {
+  std::uint64_t prime = 0;
+  PrimeStatus status = PrimeStatus::Abandoned;
+  std::uint64_t det = 0;  ///< plain residue (0 is a legitimate value here)
+};
+
+void det_one_prime(const detail::IntSystem& sys, std::size_t n,
+                   const Deadline& deadline, PrimeDet& out) {
+  const auto t0 = Clock::now();
+  const Montgomery62 mont{out.prime};
+  const std::uint64_t p = out.prime;
+  std::vector<std::uint64_t> t(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      t[i * n + j] = mont.to_mont(sys.m[i][j].mod_u64(p));
+  std::uint64_t det = mont.one();
+  bool negate = false;
+  for (std::size_t col = 0; col < n; ++col) {
+    if (deadline.expired()) return;
+    std::size_t pivot = n;
+    for (std::size_t r = col; r < n; ++r) {
+      if (t[r * n + col] != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot == n) {
+      out.det = 0;  // det == 0 mod p: the answer, not an unlucky prime
+      out.status = PrimeStatus::Ok;
+      return;
+    }
+    if (pivot != col) {
+      std::swap_ranges(t.begin() + static_cast<std::ptrdiff_t>(pivot * n),
+                       t.begin() + static_cast<std::ptrdiff_t>((pivot + 1) * n),
+                       t.begin() + static_cast<std::ptrdiff_t>(col * n));
+      negate = !negate;
+    }
+    det = mont.mul(det, t[col * n + col]);
+    const std::uint64_t inv_pivot = mont.inv(t[col * n + col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const std::uint64_t lead = t[r * n + col];
+      if (lead == 0) continue;
+      const std::uint64_t f = mont.mul(lead, inv_pivot);
+      t[r * n + col] = 0;
+      for (std::size_t j = col + 1; j < n; ++j)
+        t[r * n + j] = mont.sub(t[r * n + j], mont.mul(f, t[col * n + j]));
+    }
+  }
+  det = mont.from_mont(det);
+  if (negate && det != 0) det = p - det;
+  out.det = det;
+  out.status = PrimeStatus::Ok;
+  metrics().prime_solve_seconds.observe(seconds_since(t0));
+}
+
+// --------------------------------------------------------------- CRT fold
+
+/// Fold residues `r` (plain, mod p) into the accumulated CRT state:
+/// afterwards each xs[e] is the unique value in [0, m*p) matching all
+/// primes folded so far, and m has been multiplied by p.
+void crt_fold(std::vector<BigInt>& xs, BigInt& m,
+              const std::vector<std::uint64_t>& r, std::uint64_t p) {
+  const Montgomery62 mont{p};
+  const std::uint64_t m_mod = m.mod_u64(p);
+  const std::uint64_t minv_mont = mont.inv(mont.to_mont(m_mod));
+  for (std::size_t e = 0; e < xs.size(); ++e) {
+    const std::uint64_t xe = xs[e].mod_u64(p);
+    const std::uint64_t diff = r[e] >= xe ? r[e] - xe : r[e] + (p - xe);
+    const std::uint64_t t =
+        mont.from_mont(mont.mul(mont.to_mont(diff), minv_mont));
+    if (t != 0) xs[e] += m * BigInt{static_cast<std::int64_t>(t)};
+  }
+  m *= BigInt{static_cast<std::int64_t>(p)};
+}
+
+// ------------------------------------------------ reconstruction + verify
+
+/// Reconstruct every entry of the n x k solution from its CRT image and
+/// (optionally) verify A X == B exactly over the integer system.  nullopt
+/// when any entry fails to reconstruct or the verification fails — the
+/// driver then folds in more primes.  Polls the deadline per entry / per
+/// verified cell (a full-budget reconstruction on a vech-100+ system runs
+/// for seconds, far longer than the driver's between-batches poll) and
+/// throws TimeoutError on expiry; the histogram records either way.
+std::optional<RatMatrix> try_reconstruct(const detail::IntSystem& sys,
+                                         const std::vector<BigInt>& xs,
+                                         const BigInt& m, std::size_t n,
+                                         std::size_t k, bool verify,
+                                         const Deadline& deadline) {
+  struct Observe {
+    Clock::time_point t0 = Clock::now();
+    ~Observe() { metrics().reconstruct_seconds.observe(seconds_since(t0)); }
+  } observe;
+  const BigInt bound = isqrt((m - BigInt{1}) / BigInt{2});
+  RatMatrix x{n, k};
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t c = 0; c < k; ++c) {
+      deadline.check();
+      auto entry = rational_reconstruct(xs[i * k + c], m, bound);
+      if (!entry) return std::nullopt;
+      x(i, c) = std::move(*entry);
+    }
+  if (verify) {
+    // Check M·X == R entirely over the integers: scale X by the common
+    // denominator D (by Cramer every entry's denominator divides det(M), so
+    // D stays one det-sized value, not a product).  Rational arithmetic
+    // here would re-run a multi-thousand-bit gcd per accumulate.
+    BigInt d{1};
+    for (std::size_t e = 0; e < xs.size(); ++e) {
+      const BigInt& den = x(e / k, e % k).den();
+      if (den == d || den.is_one()) continue;
+      deadline.check();
+      d = d / BigInt::gcd(d, den) * den;  // lcm
+    }
+    std::vector<BigInt> xi(n * k);  // X·D, exact integers
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t c = 0; c < k; ++c)
+        xi[i * k + c] = x(i, c).num() * (d / x(i, c).den());
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t c = 0; c < k; ++c) {
+        deadline.check();
+        BigInt acc;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (sys.m[i][j].is_zero() || xi[j * k + c].is_zero()) continue;
+          acc += sys.m[i][j] * xi[j * k + c];
+        }
+        if (acc != sys.rhs[i][c] * d) return std::nullopt;
+      }
+  }
+  return x;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- montgomery
+
+Montgomery62::Montgomery62(std::uint64_t p) : p_(p) {
+  if (p < 3 || (p & 1u) == 0 || (p >> 62) != 0)
+    throw std::invalid_argument("Montgomery62: need an odd modulus < 2^62");
+  // Newton–Hensel: x <- x(2 - p x) doubles the number of correct low bits,
+  // so six iterations from x = p (3 correct bits for odd p) reach 2^64.
+  std::uint64_t inv = p;
+  for (int i = 0; i < 6; ++i) inv *= 2 - p * inv;
+  ninv_ = ~inv + 1;
+  r1_ = static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(1) << 64) % p);
+  r2_ = static_cast<std::uint64_t>(
+      static_cast<unsigned __int128>(r1_) * r1_ % p);
+}
+
+std::uint64_t Montgomery62::inv(std::uint64_t a_mont) const {
+  if (a_mont == 0)
+    throw std::domain_error("Montgomery62: inverse of zero");
+  // Fermat: a^(p-2) mod p, entirely in Montgomery form.
+  std::uint64_t result = r1_;
+  std::uint64_t base = a_mont;
+  std::uint64_t e = p_ - 2;
+  while (e != 0) {
+    if (e & 1u) result = mul(result, base);
+    base = mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+// ----------------------------------------------------------------- primes
+
+std::uint64_t modular_prime(std::size_t index) {
+  static std::mutex mutex;
+  static std::vector<std::uint64_t> primes;
+  std::lock_guard<std::mutex> lock(mutex);
+  while (primes.size() <= index) {
+    std::uint64_t candidate =
+        primes.empty() ? (std::uint64_t{1} << 62) - 1 : primes.back() - 2;
+    while (!is_prime_u64(candidate)) candidate -= 2;
+    primes.push_back(candidate);
+  }
+  return primes[index];
+}
+
+// --------------------------------------------------------------- strategy
+
+ExactSolverStrategy exact_solver_strategy() {
+  const char* v = std::getenv("SPIV_EXACT_SOLVER");
+  if (!v || !*v) return ExactSolverStrategy::Auto;
+  if (!std::strcmp(v, "bareiss")) return ExactSolverStrategy::Bareiss;
+  if (!std::strcmp(v, "modular")) return ExactSolverStrategy::Modular;
+  if (!std::strcmp(v, "auto")) return ExactSolverStrategy::Auto;
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true))
+    std::cerr << "spiv: ignoring invalid SPIV_EXACT_SOLVER='" << v
+              << "' (expected bareiss|modular|auto); using auto\n";
+  return ExactSolverStrategy::Auto;
+}
+
+bool modular_preferred(std::size_t dim, ExactSolverStrategy strategy) {
+  switch (strategy) {
+    case ExactSolverStrategy::Bareiss: return false;
+    case ExactSolverStrategy::Modular: return dim > 0;
+    case ExactSolverStrategy::Auto: return dim >= 6;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------- reconstruction
+
+std::optional<Rational> rational_reconstruct(const BigInt& u, const BigInt& m,
+                                             const BigInt& bound) {
+  // Half-extended Euclid on (m, u): every intermediate (r_i, t_i) satisfies
+  // r_i == t_i * u (mod m); stop at the first remainder <= bound (Wang).
+  BigInt r0 = m, r1 = u;
+  BigInt t0{0}, t1{1};
+  while (r1 > bound) {
+    auto [q, r2] = BigInt::div_mod(r0, r1);
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    BigInt t2 = t0 - q * t1;
+    t0 = std::move(t1);
+    t1 = std::move(t2);
+  }
+  if (t1.is_zero()) return std::nullopt;
+  BigInt num = std::move(r1);
+  BigInt den = std::move(t1);
+  if (den.is_negative()) {
+    num = num.negated();
+    den = den.negated();
+  }
+  if (den > bound) return std::nullopt;
+  if (!BigInt::gcd(num, den).is_one()) return std::nullopt;
+  return Rational{std::move(num), std::move(den)};
+}
+
+// ------------------------------------------------------------------ solve
+
+std::optional<RatMatrix> solve_rational_modular(const RatMatrix& a,
+                                                const RatMatrix& b,
+                                                const Deadline& deadline,
+                                                const ModularOptions& options) {
+  if (!a.is_square() || b.rows() != a.rows())
+    throw std::invalid_argument("solve_rational_modular: shape mismatch");
+  const std::size_t n = a.rows();
+  const std::size_t k = b.cols();
+  if (n == 0) return RatMatrix{0, k};
+  metrics().solves.add();
+  deadline.check();
+  const detail::IntSystem sys = detail::clear_denominators(a, &b);
+  const std::size_t budget_bits = solve_budget_bits(sys.m, sys.rhs);
+  const std::size_t jobs = core::resolve_jobs(options.jobs);
+  const std::size_t batch = std::max<std::size_t>(jobs, 8);
+
+  std::vector<BigInt> xs(n * k);  // CRT images of the solution entries
+  BigInt m{1};
+  std::size_t prime_index = 0;
+  std::uint64_t primes_used = 0;
+  std::uint64_t unlucky = 0;
+  std::size_t checkpoint = 4;  // trial reconstruction schedule (doubling)
+
+  auto finish = [&](bool early, std::optional<RatMatrix> result) {
+    metrics().primes_used.add(primes_used);
+    metrics().unlucky_primes.add(unlucky);
+    if (early && result) metrics().early_exits.add();
+    if (options.stats)
+      *options.stats = ModularStats{primes_used, unlucky,
+                                    early && result.has_value()};
+    return result;
+  };
+
+  while (m.bit_length() < budget_bits) {
+    deadline.check();
+    // A nonsingular system sheds at most a handful of primes (each unlucky
+    // prime divides det); a singular one sheds every prime.  Give up and
+    // let the Bareiss fallback decide.
+    if (unlucky > primes_used + 16) return finish(false, std::nullopt);
+    std::vector<PrimeSolve> results(batch);
+    for (std::size_t i = 0; i < batch; ++i)
+      results[i].prime = modular_prime(prime_index++);
+    core::for_each_job(batch, jobs,
+                       [&](std::size_t i, const CancelToken& /*token*/) {
+                         solve_one_prime(sys, n, k, deadline, results[i]);
+                       });
+    deadline.check();
+    for (const PrimeSolve& r : results) {
+      if (r.status == PrimeStatus::Unlucky) {
+        ++unlucky;
+        continue;
+      }
+      if (r.status != PrimeStatus::Ok) continue;  // abandoned: deadline
+      if (m.bit_length() >= budget_bits) break;   // budget already met
+      crt_fold(xs, m, r.x, r.prime);
+      ++primes_used;
+    }
+    if (primes_used >= checkpoint && m.bit_length() < budget_bits) {
+      checkpoint = primes_used * 2;
+      if (auto x = try_reconstruct(sys, xs, m, n, k, options.verify, deadline))
+        return finish(true, std::move(x));
+    }
+  }
+  // Full Hadamard budget reached: reconstruction now succeeds for every
+  // nonsingular system; a failure here means singular (or pathological),
+  // which the caller resolves via Bareiss.
+  return finish(false,
+                try_reconstruct(sys, xs, m, n, k, options.verify, deadline));
+}
+
+// ------------------------------------------------------------ determinant
+
+Rational determinant_modular(const RatMatrix& mat, const Deadline& deadline,
+                             const ModularOptions& options) {
+  if (!mat.is_square())
+    throw std::invalid_argument("determinant_modular: square required");
+  const std::size_t n = mat.rows();
+  if (n == 0) return Rational{1};
+  deadline.check();
+  const detail::IntSystem sys = detail::clear_denominators(mat, nullptr);
+  const std::size_t budget_bits = det_bound_bits(sys.m) + 2;
+  const std::size_t jobs = core::resolve_jobs(options.jobs);
+  const std::size_t batch = std::max<std::size_t>(jobs, 8);
+
+  std::vector<BigInt> xs(1);
+  BigInt m{1};
+  std::size_t prime_index = 0;
+  std::uint64_t primes_used = 0;
+  while (m.bit_length() < budget_bits) {
+    deadline.check();
+    std::vector<PrimeDet> results(batch);
+    for (std::size_t i = 0; i < batch; ++i)
+      results[i].prime = modular_prime(prime_index++);
+    core::for_each_job(batch, jobs,
+                       [&](std::size_t i, const CancelToken& /*token*/) {
+                         det_one_prime(sys, n, deadline, results[i]);
+                       });
+    deadline.check();
+    for (const PrimeDet& r : results) {
+      if (r.status != PrimeStatus::Ok) continue;
+      if (m.bit_length() >= budget_bits) break;
+      std::vector<std::uint64_t> residue{r.det};
+      crt_fold(xs, m, residue, r.prime);
+      ++primes_used;
+    }
+  }
+  metrics().primes_used.add(primes_used);
+  if (options.stats) *options.stats = ModularStats{primes_used, 0, false};
+  // Balanced representative: the scaled determinant is an integer with
+  // |det| < 2^(budget_bits-1) <= m/2.
+  BigInt det = std::move(xs[0]);
+  if (det + det > m) det -= m;
+  BigInt scale{1};
+  for (const BigInt& l : sys.row_scales) scale *= l;
+  return Rational{std::move(det), std::move(scale)};
+}
+
+}  // namespace spiv::exact

@@ -1,0 +1,139 @@
+// spiv::exact — multi-modular exact linear algebra.
+//
+// The paper's eq-smt method (§VI-B1) solves the Lyapunov equation in exact
+// rational arithmetic; fraction-free Bareiss over ever-growing BigInt
+// entries is its dominant cost (Table I: 0.56 s at size 5, timeout at 10+).
+// This module replaces that with the standard fast path of exact linear
+// algebra: solve the (denominator-cleared) integer system modulo many
+// ~62-bit primes with machine-word Gaussian elimination, combine the
+// residues by CRT, and recover the rational solution by Wang-style rational
+// reconstruction.  A Hadamard bound caps the prime budget; trial
+// reconstruction at doubling checkpoints exits far earlier on typical
+// inputs, and an exact A·X = B recheck makes the early exit sound.
+//
+// Per-prime solves are independent, so they fan out over core::JobPool;
+// residues are folded in prime order on the calling thread, which keeps
+// results bit-identical for any SPIV_JOBS.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "exact/matrix.hpp"
+#include "exact/timeout.hpp"
+
+namespace spiv::exact {
+
+/// Which exact solver backs solve_lyapunov_exact (and the modular
+/// determinant used by the charpoly validation engines).
+enum class ExactSolverStrategy {
+  Bareiss,  ///< fraction-free Bareiss elimination (the original path)
+  Modular,  ///< multi-modular CRT + rational reconstruction
+  Auto,     ///< modular above a size threshold, Bareiss below
+};
+
+/// Strategy from $SPIV_EXACT_SOLVER ("bareiss" | "modular" | "auto";
+/// unset/empty -> Auto; anything else warns once and falls back to Auto).
+/// Re-read on every call so tests can flip the environment.
+[[nodiscard]] ExactSolverStrategy exact_solver_strategy();
+
+/// Whether the modular path should be taken for a system of the given
+/// dimension under `strategy`.  Auto prefers modular from dimension 6 up:
+/// below that the whole Bareiss elimination stays in single-limb territory
+/// and the CRT bookkeeping costs more than it saves.
+[[nodiscard]] bool modular_preferred(std::size_t dim,
+                                     ExactSolverStrategy strategy);
+
+/// Per-solve statistics (also mirrored into the obs registry).
+struct ModularStats {
+  std::uint64_t primes_used = 0;     ///< lucky primes folded into the CRT
+  std::uint64_t unlucky_primes = 0;  ///< det == 0 mod p, skipped
+  bool early_exit = false;  ///< reconstruction succeeded below the bound
+};
+
+struct ModularOptions {
+  /// Worker threads for the per-prime fan-out: 0 = $SPIV_JOBS (else
+  /// hardware_concurrency), 1 = serial on the calling thread.  Results are
+  /// identical for any value.
+  std::size_t jobs = 0;
+  /// Recheck A·X == B exactly after reconstruction (makes the early exit
+  /// sound; cheap next to the elimination it replaces).
+  bool verify = true;
+  ModularStats* stats = nullptr;  ///< optional out-param
+};
+
+/// The i-th prime of the deterministic, descending sequence of ~62-bit
+/// primes every multi-modular solve draws from (exposed so tests can build
+/// "unlucky prime" instances whose determinant vanishes mod a known prime).
+[[nodiscard]] std::uint64_t modular_prime(std::size_t index);
+
+/// Exact solve A X = B for square A by the multi-modular method.  Returns
+/// nullopt when A is singular *or* when reconstruction fails — callers fall
+/// back to Bareiss, which decides singularity exactly.  With
+/// options.verify (default) a returned matrix is a proven solution.
+/// Throws TimeoutError when `deadline` expires.
+[[nodiscard]] std::optional<RatMatrix> solve_rational_modular(
+    const RatMatrix& a, const RatMatrix& b, const Deadline& deadline = {},
+    const ModularOptions& options = {});
+
+/// Exact determinant by per-prime elimination + CRT, run to the full
+/// Hadamard budget (no early exit, hence deterministic with no recheck
+/// needed).  Used by the charpoly validation engines for larger matrices.
+[[nodiscard]] Rational determinant_modular(const RatMatrix& m,
+                                           const Deadline& deadline = {},
+                                           const ModularOptions& options = {});
+
+/// Montgomery arithmetic modulo an odd prime p < 2^62.  Values live in
+/// Montgomery form (x·2^64 mod p); a multiply is two 64x64->128 products
+/// and a conditional subtract — no division anywhere in the elimination
+/// kernel.  Exposed for the micro benchmarks and kernel unit tests.
+class Montgomery62 {
+ public:
+  explicit Montgomery62(std::uint64_t p);
+
+  [[nodiscard]] std::uint64_t modulus() const { return p_; }
+  /// 1 in Montgomery form.
+  [[nodiscard]] std::uint64_t one() const { return r1_; }
+  /// x < p into Montgomery form.
+  [[nodiscard]] std::uint64_t to_mont(std::uint64_t x) const {
+    return mul(x, r2_);
+  }
+  /// Montgomery form back to a plain residue in [0, p).
+  [[nodiscard]] std::uint64_t from_mont(std::uint64_t x) const {
+    return redc(x);
+  }
+  [[nodiscard]] std::uint64_t add(std::uint64_t a, std::uint64_t b) const {
+    const std::uint64_t s = a + b;  // a, b < p < 2^62: no wrap
+    return s >= p_ ? s - p_ : s;
+  }
+  [[nodiscard]] std::uint64_t sub(std::uint64_t a, std::uint64_t b) const {
+    return a >= b ? a - b : a + (p_ - b);
+  }
+  [[nodiscard]] std::uint64_t mul(std::uint64_t a, std::uint64_t b) const {
+    return redc(static_cast<unsigned __int128>(a) * b);
+  }
+  /// Inverse of a nonzero Montgomery-form value (Fermat: a^(p-2)).
+  [[nodiscard]] std::uint64_t inv(std::uint64_t a_mont) const;
+
+ private:
+  [[nodiscard]] std::uint64_t redc(unsigned __int128 t) const {
+    const std::uint64_t m = static_cast<std::uint64_t>(t) * ninv_;
+    const unsigned __int128 s = t + static_cast<unsigned __int128>(m) * p_;
+    const std::uint64_t r = static_cast<std::uint64_t>(s >> 64);
+    return r >= p_ ? r - p_ : r;
+  }
+
+  std::uint64_t p_;     ///< modulus
+  std::uint64_t ninv_;  ///< -p^{-1} mod 2^64
+  std::uint64_t r1_;    ///< 2^64 mod p
+  std::uint64_t r2_;    ///< 2^128 mod p
+};
+
+/// Wang-style rational reconstruction: the unique n/d with |n|, d <= bound,
+/// gcd(n, d) = 1 and n == u·d (mod m), if one exists.  `bound` defaults to
+/// the balanced floor(sqrt((m-1)/2)) when callers pass none.
+[[nodiscard]] std::optional<Rational> rational_reconstruct(const BigInt& u,
+                                                           const BigInt& m,
+                                                           const BigInt& bound);
+
+}  // namespace spiv::exact

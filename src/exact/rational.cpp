@@ -128,17 +128,39 @@ Rational& Rational::operator-=(const Rational& rhs) {
 }
 
 Rational& Rational::operator*=(const Rational& rhs) {
-  num_ *= rhs.num_;
-  den_ *= rhs.den_;
-  normalize();
+  // Cross-cancel before multiplying: with both operands already in lowest
+  // terms, gcd(num_, rhs.den_) and gcd(rhs.num_, den_) remove every common
+  // factor, so the products below are coprime and no final gcd pass on the
+  // (larger) intermediates is needed.  Temporaries keep `r *= r` correct.
+  const BigInt g1 = BigInt::gcd(num_, rhs.den_);
+  const BigInt g2 = BigInt::gcd(rhs.num_, den_);
+  BigInt new_num = (g1.is_one() ? num_ : num_ / g1) *
+                   (g2.is_one() ? rhs.num_ : rhs.num_ / g2);
+  BigInt new_den = (g2.is_one() ? den_ : den_ / g2) *
+                   (g1.is_one() ? rhs.den_ : rhs.den_ / g1);
+  num_ = std::move(new_num);
+  den_ = std::move(new_den);
+  if (num_.is_zero()) den_ = BigInt{1};
   return *this;
 }
 
 Rational& Rational::operator/=(const Rational& rhs) {
   if (rhs.is_zero()) throw std::domain_error("Rational: division by zero");
-  num_ *= rhs.den_;
-  den_ *= rhs.num_;
-  normalize();
+  // a/b / (c/d) = (a d)/(b c); cross-cancel num_ with rhs.num_ and den_
+  // with rhs.den_ so the intermediates stay small.
+  const BigInt g1 = BigInt::gcd(num_, rhs.num_);
+  const BigInt g2 = BigInt::gcd(den_, rhs.den_);
+  BigInt new_num = (g1.is_one() ? num_ : num_ / g1) *
+                   (g2.is_one() ? rhs.den_ : rhs.den_ / g2);
+  BigInt new_den = (g2.is_one() ? den_ : den_ / g2) *
+                   (g1.is_one() ? rhs.num_ : rhs.num_ / g1);
+  if (new_den.is_negative()) {
+    new_num = new_num.negated();
+    new_den = new_den.negated();
+  }
+  num_ = std::move(new_num);
+  den_ = std::move(new_den);
+  if (num_.is_zero()) den_ = BigInt{1};
   return *this;
 }
 

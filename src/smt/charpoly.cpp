@@ -2,10 +2,29 @@
 
 #include <stdexcept>
 
+#include "exact/modular.hpp"
+
 namespace spiv::smt {
 
 using exact::RatMatrix;
 using exact::Rational;
+
+namespace {
+
+/// Exact determinant for one interpolation node under the configured
+/// strategy.  Runs the modular path serially (jobs = 1): the engine is
+/// itself invoked from parallel validation sweeps, and nesting job pools
+/// inside each node would oversubscribe the machine.
+Rational node_determinant(const RatMatrix& shifted, const Deadline& deadline) {
+  if (exact::modular_preferred(shifted.rows(), exact::exact_solver_strategy())) {
+    exact::ModularOptions options;
+    options.jobs = 1;
+    return exact::determinant_modular(shifted, deadline, options);
+  }
+  return shifted.determinant(deadline);
+}
+
+}  // namespace
 
 std::vector<Rational> characteristic_polynomial_faddeev(
     const RatMatrix& m, const Deadline& deadline) {
@@ -45,7 +64,7 @@ std::vector<Rational> characteristic_polynomial_interpolation(
     // Each determinant is the engine's dominant cost; pass the deadline so
     // a cancellation preempts inside the elimination, not just between
     // interpolation nodes.
-    values[k] = shifted.determinant(deadline);
+    values[k] = node_determinant(shifted, deadline);
   }
   // Newton's divided differences on integer nodes, then expand to the
   // monomial basis.

@@ -115,6 +115,55 @@ TEST(BigInt, GcdBasics) {
   EXPECT_EQ(BigInt::gcd(BigInt{"1000000007"}, BigInt{"998244353"}).to_int64(), 1);
 }
 
+TEST(BigInt, GcdSteinEdgeCases) {
+  // Power-of-two common factors (the binary algorithm's shift bookkeeping).
+  EXPECT_EQ(BigInt::gcd(BigInt{1024}, BigInt{4096}).to_int64(), 1024);
+  EXPECT_EQ(BigInt::gcd(BigInt{3} * BigInt{1024}, BigInt{5} * BigInt{4096})
+                .to_int64(),
+            1024);
+  // Equal operands, including multi-limb.
+  const BigInt big{"123456789012345678901234567890"};
+  EXPECT_EQ(BigInt::gcd(big, big), big);
+  EXPECT_EQ(BigInt::gcd(big, big.negated()), big);
+  // Common factor spanning limbs: g has > 64 bits, so the word-size kernel
+  // must not engage until it has been divided out.
+  const BigInt g = BigInt::pow10(25);  // ~84 bits
+  EXPECT_EQ(BigInt::gcd(g * BigInt{7}, g * BigInt{9}), g);
+  // Coprime multi-limb pair: both odd and differing by 2, so the gcd is 1.
+  EXPECT_TRUE(
+      BigInt::gcd(BigInt::pow10(30) + BigInt{1}, BigInt::pow10(30) + BigInt{3})
+          .is_one());
+}
+
+TEST(BigInt, GcdMatchesEuclidReference) {
+  std::mt19937_64 rng{909};
+  std::uniform_int_distribution<std::int64_t> dist{-1'000'000'000,
+                                                   1'000'000'000};
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::int64_t a = dist(rng);
+    const std::int64_t b = dist(rng);
+    std::int64_t x = a < 0 ? -a : a;
+    std::int64_t y = b < 0 ? -b : b;
+    while (y != 0) {
+      const std::int64_t t = x % y;
+      x = y;
+      y = t;
+    }
+    EXPECT_EQ(BigInt::gcd(BigInt{a}, BigInt{b}).to_int64(), x)
+        << a << ", " << b;
+  }
+  // And divisibility on operands far beyond one limb.
+  for (int iter = 0; iter < 20; ++iter) {
+    BigInt u{dist(rng)};
+    BigInt v{dist(rng)};
+    const BigInt scale = BigInt::pow10(18 + iter);
+    const BigInt g = BigInt::gcd(u * scale, v * scale);
+    EXPECT_TRUE((u * scale % g).is_zero());
+    EXPECT_TRUE((v * scale % g).is_zero());
+    EXPECT_TRUE((g % scale).is_zero());  // scale divides both, so also g
+  }
+}
+
 TEST(BigInt, PowAndPow10) {
   EXPECT_EQ(BigInt{2}.pow(10).to_int64(), 1024);
   EXPECT_EQ(BigInt{10}.pow(0).to_int64(), 1);

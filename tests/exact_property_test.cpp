@@ -5,6 +5,7 @@
 
 #include "exact/lyapunov_exact.hpp"
 #include "exact/matrix.hpp"
+#include "exact/modular.hpp"
 
 namespace spiv::exact {
 namespace {
@@ -90,6 +91,29 @@ TEST_P(ExactMatrixProperty, FullKroneckerLyapunovMatchesVech) {
     ASSERT_TRUE(p1.has_value());
     ASSERT_TRUE(p2.has_value());
     EXPECT_EQ(*p1, *p2);
+  }
+}
+
+TEST_P(ExactMatrixProperty, ModularSolverAgreesWithBareiss) {
+  // The multi-modular path must return the *same RatMatrix* as Bareiss
+  // (canonical rationals make equality representation-exact), or nullopt on
+  // exactly the systems Bareiss declares singular.
+  std::mt19937_64 rng{GetParam() + 29};
+  for (int iter = 0; iter < 10; ++iter) {
+    const std::size_t n = 2 + iter % 7;  // 2..8
+    RatMatrix a = random_matrix(rng, n, n);
+    if (iter % 3 == 0)  // bias a third of cases towards nonsingular
+      for (std::size_t i = 0; i < n; ++i) a(i, i) += Rational{25};
+    RatMatrix b = random_matrix(rng, n, 1 + iter % 2);
+    auto modular = solve_rational_modular(a, b);
+    auto bareiss = a.solve(b);
+    if (bareiss.has_value()) {
+      ASSERT_TRUE(modular.has_value()) << "iter " << iter;
+      EXPECT_EQ(*modular, *bareiss) << "iter " << iter;
+    } else {
+      EXPECT_FALSE(modular.has_value()) << "iter " << iter;
+    }
+    EXPECT_EQ(determinant_modular(a), a.determinant()) << "iter " << iter;
   }
 }
 

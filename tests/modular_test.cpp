@@ -1,0 +1,321 @@
+// Multi-modular exact solver: Montgomery kernel units, rational
+// reconstruction, and (the property the whole module hangs on)
+// bit-identical agreement with fraction-free Bareiss.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+
+#include "exact/lyapunov_exact.hpp"
+#include "exact/matrix.hpp"
+#include "exact/modular.hpp"
+
+namespace spiv::exact {
+namespace {
+
+RatMatrix random_matrix(std::mt19937_64& rng, std::size_t n, std::size_t m) {
+  std::uniform_int_distribution<std::int64_t> num{-9, 9};
+  std::uniform_int_distribution<std::int64_t> den{1, 6};
+  RatMatrix out{n, m};
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < m; ++j) out(i, j) = Rational{num(rng), den(rng)};
+  return out;
+}
+
+/// Diagonally dominant => nonsingular (and Hurwitz after the shift).
+RatMatrix random_stable(std::mt19937_64& rng, std::size_t n) {
+  RatMatrix a = random_matrix(rng, n, n);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) -= Rational{40};
+  return a;
+}
+
+/// RAII environment override (tests run single-threaded).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old) saved_ = old;
+    had_ = old != nullptr;
+    if (value)
+      ::setenv(name, value, 1);
+    else
+      ::unsetenv(name);
+  }
+  ~ScopedEnv() {
+    if (had_)
+      ::setenv(name_, saved_.c_str(), 1);
+    else
+      ::unsetenv(name_);
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+// ---------------------------------------------------------------- kernel
+
+TEST(Montgomery62, RoundTripAndArithmeticMatchReference) {
+  const std::uint64_t p = modular_prime(0);
+  const Montgomery62 mont{p};
+  std::mt19937_64 rng{42};
+  std::uniform_int_distribution<std::uint64_t> dist{0, p - 1};
+  EXPECT_EQ(mont.from_mont(mont.one()), 1u);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::uint64_t a = dist(rng);
+    const std::uint64_t b = dist(rng);
+    EXPECT_EQ(mont.from_mont(mont.to_mont(a)), a);
+    const std::uint64_t prod = mont.from_mont(mont.mul(mont.to_mont(a), mont.to_mont(b)));
+    const auto ref = static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(a) * b % p);
+    EXPECT_EQ(prod, ref);
+    EXPECT_EQ(mont.from_mont(mont.add(mont.to_mont(a), mont.to_mont(b))),
+              (a + b) % p);
+    const std::uint64_t diff = a >= b ? a - b : a + p - b;
+    EXPECT_EQ(mont.from_mont(mont.sub(mont.to_mont(a), mont.to_mont(b))), diff);
+    if (a != 0) {
+      const std::uint64_t inv = mont.inv(mont.to_mont(a));
+      EXPECT_EQ(mont.from_mont(mont.mul(inv, mont.to_mont(a))), 1u);
+    }
+  }
+}
+
+TEST(Montgomery62, RejectsBadModulus) {
+  EXPECT_THROW(Montgomery62{0}, std::invalid_argument);
+  EXPECT_THROW(Montgomery62{10}, std::invalid_argument);  // even
+  EXPECT_THROW(Montgomery62{std::uint64_t{1} << 62}, std::invalid_argument);
+}
+
+TEST(ModularPrime, DeterministicDescendingOddSequence) {
+  const std::uint64_t p0 = modular_prime(0);
+  EXPECT_EQ(p0, modular_prime(0));  // cached, stable
+  EXPECT_LT(p0, std::uint64_t{1} << 62);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::uint64_t p = modular_prime(i);
+    EXPECT_EQ(p & 1u, 1u);
+    if (i > 0) EXPECT_LT(p, modular_prime(i - 1));
+    // Spot-check primality against small factors.
+    for (std::uint64_t d : {3ull, 5ull, 7ull, 11ull, 13ull, 101ull})
+      EXPECT_NE(p % d, 0u) << "prime " << i;
+  }
+}
+
+// -------------------------------------------------------- reconstruction
+
+TEST(RationalReconstruct, RecoversSmallFractions) {
+  const BigInt m{1000003};  // prime
+  const BigInt bound = isqrt((m - BigInt{1}) / BigInt{2});
+  // u = num * den^-1 mod m, computed by brute-force search of the inverse.
+  auto encode = [&](std::int64_t num, std::int64_t den) {
+    std::int64_t inv = 0;
+    for (std::int64_t t = 1; t < 1000003; ++t)
+      if (t * den % 1000003 == 1) {
+        inv = t;
+        break;
+      }
+    std::int64_t u = (num % 1000003 + 1000003) % 1000003;
+    u = u * inv % 1000003;
+    return BigInt{u};
+  };
+  for (auto [num, den] : {std::pair<std::int64_t, std::int64_t>{22, 7},
+                          {-3, 5},
+                          {0, 1},
+                          {137, 1},
+                          {-1, 99}}) {
+    auto r = rational_reconstruct(encode(num, den), m, bound);
+    ASSERT_TRUE(r.has_value()) << num << "/" << den;
+    EXPECT_EQ(*r, Rational(num, den));
+  }
+}
+
+TEST(RationalReconstruct, RejectsValuesOutsideTheBound) {
+  // With bound floor(sqrt((m-1)/2)) ~ 707, a residue encoding 1234/1235
+  // (both above the bound) has no admissible representative.
+  const BigInt m{1000003};
+  const BigInt bound{20};
+  auto r = rational_reconstruct(BigInt{987654}, m, bound);
+  EXPECT_FALSE(r.has_value());
+}
+
+// ---------------------------------------------------------------- solves
+
+TEST(SolveRationalModular, MatchesBareissOnRandomSystems) {
+  std::mt19937_64 rng{7001};
+  for (std::size_t n = 2; n <= 8; ++n) {
+    RatMatrix a = random_stable(rng, n);
+    RatMatrix b = random_matrix(rng, n, 2);
+    ModularStats stats;
+    ModularOptions options;
+    options.stats = &stats;
+    auto modular = solve_rational_modular(a, b, Deadline{}, options);
+    auto bareiss = a.solve(b);
+    ASSERT_TRUE(modular.has_value()) << "n=" << n;
+    ASSERT_TRUE(bareiss.has_value()) << "n=" << n;
+    EXPECT_EQ(*modular, *bareiss) << "n=" << n;
+    EXPECT_GE(stats.primes_used, 1u);
+  }
+}
+
+TEST(SolveRationalModular, SingularSystemReturnsNullopt) {
+  RatMatrix a{{Rational{1}, Rational{2}}, {Rational{2}, Rational{4}}};
+  RatMatrix b{{Rational{1}}, {Rational{1}}};
+  ModularStats stats;
+  ModularOptions options;
+  options.stats = &stats;
+  EXPECT_FALSE(solve_rational_modular(a, b, Deadline{}, options).has_value());
+  EXPECT_FALSE(a.solve(b).has_value());  // Bareiss agrees: singular
+}
+
+TEST(SolveRationalModular, SkipsSeededUnluckyPrime) {
+  // det(A) == modular_prime(0), so the first prime of the sequence sees a
+  // singular system and must be skipped without affecting the result.
+  const auto p0 = static_cast<std::int64_t>(modular_prime(0));
+  RatMatrix a{{Rational{p0}, Rational{0}, Rational{3}},
+              {Rational{0}, Rational{1}, Rational{1}},
+              {Rational{0}, Rational{0}, Rational{1}}};
+  RatMatrix b{{Rational{1}}, {Rational{2}}, {Rational{3}}};
+  ModularStats stats;
+  ModularOptions options;
+  options.stats = &stats;
+  auto modular = solve_rational_modular(a, b, Deadline{}, options);
+  auto bareiss = a.solve(b);
+  ASSERT_TRUE(modular.has_value());
+  ASSERT_TRUE(bareiss.has_value());
+  EXPECT_EQ(*modular, *bareiss);
+  EXPECT_GE(stats.unlucky_primes, 1u);
+}
+
+TEST(SolveRationalModular, ResultIndependentOfJobs) {
+  std::mt19937_64 rng{7003};
+  RatMatrix a = random_stable(rng, 6);
+  RatMatrix b = random_matrix(rng, 6, 1);
+  ModularOptions serial;
+  serial.jobs = 1;
+  ModularOptions parallel;
+  parallel.jobs = 4;
+  auto x1 = solve_rational_modular(a, b, Deadline{}, serial);
+  auto x4 = solve_rational_modular(a, b, Deadline{}, parallel);
+  ASSERT_TRUE(x1.has_value());
+  ASSERT_TRUE(x4.has_value());
+  EXPECT_EQ(*x1, *x4);
+}
+
+TEST(SolveRationalModular, EarlyExitsWhenSolutionIsSmallerThanTheBound) {
+  // Scaling the whole system by 10^40 inflates the Hadamard budget far
+  // beyond what the (unchanged, small) solution needs; checkpointed trial
+  // reconstruction should bail out long before the full prime budget.
+  std::mt19937_64 rng{7005};
+  RatMatrix a = random_stable(rng, 4);
+  RatMatrix b = random_matrix(rng, 4, 1);
+  const Rational scale{BigInt::pow10(40), BigInt{1}};
+  RatMatrix a2 = a * scale;
+  RatMatrix b2 = b * scale;
+  ModularStats stats;
+  ModularOptions options;
+  options.stats = &stats;
+  auto x = solve_rational_modular(a2, b2, Deadline{}, options);
+  auto reference = a.solve(b);
+  ASSERT_TRUE(x.has_value());
+  ASSERT_TRUE(reference.has_value());
+  EXPECT_EQ(*x, *reference);
+  EXPECT_TRUE(stats.early_exit);
+}
+
+TEST(SolveRationalModular, HonoursExpiredDeadline) {
+  std::mt19937_64 rng{7007};
+  RatMatrix a = random_stable(rng, 5);
+  RatMatrix b = random_matrix(rng, 5, 1);
+  const Deadline expired = Deadline::after_seconds(-1.0);
+  EXPECT_THROW((void)solve_rational_modular(a, b, expired), TimeoutError);
+}
+
+// ----------------------------------------------------------- determinant
+
+TEST(DeterminantModular, MatchesBareissIncludingSignAndZero) {
+  std::mt19937_64 rng{7011};
+  for (std::size_t n = 1; n <= 7; ++n) {
+    RatMatrix m = random_matrix(rng, n, n);
+    EXPECT_EQ(determinant_modular(m), m.determinant()) << "n=" << n;
+  }
+  // Singular: determinant is exactly zero (no "unlucky prime" confusion).
+  RatMatrix s{{Rational{1}, Rational{2}}, {Rational{2}, Rational{4}}};
+  EXPECT_TRUE(determinant_modular(s).is_zero());
+  // Known negative determinant.
+  RatMatrix neg{{Rational{0}, Rational{1}}, {Rational{1}, Rational{0}}};
+  EXPECT_EQ(determinant_modular(neg), Rational{-1});
+}
+
+// -------------------------------------------------------------- strategy
+
+TEST(Strategy, EnvParsingAndThreshold) {
+  {
+    ScopedEnv env{"SPIV_EXACT_SOLVER", "bareiss"};
+    EXPECT_EQ(exact_solver_strategy(), ExactSolverStrategy::Bareiss);
+    EXPECT_FALSE(modular_preferred(100, exact_solver_strategy()));
+  }
+  {
+    ScopedEnv env{"SPIV_EXACT_SOLVER", "modular"};
+    EXPECT_EQ(exact_solver_strategy(), ExactSolverStrategy::Modular);
+    EXPECT_TRUE(modular_preferred(2, exact_solver_strategy()));
+  }
+  {
+    ScopedEnv env{"SPIV_EXACT_SOLVER", "auto"};
+    EXPECT_EQ(exact_solver_strategy(), ExactSolverStrategy::Auto);
+    EXPECT_FALSE(modular_preferred(5, exact_solver_strategy()));
+    EXPECT_TRUE(modular_preferred(6, exact_solver_strategy()));
+  }
+  {
+    ScopedEnv env{"SPIV_EXACT_SOLVER", nullptr};
+    EXPECT_EQ(exact_solver_strategy(), ExactSolverStrategy::Auto);
+  }
+  {
+    ScopedEnv env{"SPIV_EXACT_SOLVER", "simplex"};  // invalid: warn + Auto
+    EXPECT_EQ(exact_solver_strategy(), ExactSolverStrategy::Auto);
+  }
+}
+
+TEST(Strategy, LyapunovSolveIsIdenticalAcrossBackends) {
+  std::mt19937_64 rng{7013};
+  for (std::size_t n = 3; n <= 5; ++n) {
+    RatMatrix a = random_stable(rng, n);
+    RatMatrix q = RatMatrix::identity(n);
+    std::optional<RatMatrix> via_bareiss, via_modular;
+    {
+      ScopedEnv env{"SPIV_EXACT_SOLVER", "bareiss"};
+      via_bareiss = solve_lyapunov_exact(a, q);
+    }
+    {
+      ScopedEnv env{"SPIV_EXACT_SOLVER", "modular"};
+      via_modular = solve_lyapunov_exact(a, q);
+    }
+    ASSERT_TRUE(via_bareiss.has_value());
+    ASSERT_TRUE(via_modular.has_value());
+    EXPECT_EQ(*via_bareiss, *via_modular) << "n=" << n;
+    // And the result actually solves the Lyapunov equation.
+    RatMatrix r = lyapunov_residual(a, *via_modular, q);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) EXPECT_TRUE(r(i, j).is_zero());
+  }
+}
+
+TEST(Strategy, FullKroneckerSolveIsIdenticalAcrossBackends) {
+  std::mt19937_64 rng{7017};
+  RatMatrix a = random_stable(rng, 3);
+  RatMatrix q = RatMatrix::identity(3);
+  std::optional<RatMatrix> via_bareiss, via_modular;
+  {
+    ScopedEnv env{"SPIV_EXACT_SOLVER", "bareiss"};
+    via_bareiss = solve_lyapunov_exact_full_kronecker(a, q);
+  }
+  {
+    ScopedEnv env{"SPIV_EXACT_SOLVER", "modular"};
+    via_modular = solve_lyapunov_exact_full_kronecker(a, q);
+  }
+  ASSERT_TRUE(via_bareiss.has_value());
+  ASSERT_TRUE(via_modular.has_value());
+  EXPECT_EQ(*via_bareiss, *via_modular);
+}
+
+}  // namespace
+}  // namespace spiv::exact

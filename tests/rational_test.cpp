@@ -42,6 +42,29 @@ TEST(Rational, FieldOps) {
   EXPECT_THROW(a / Rational{}, std::domain_error);
 }
 
+TEST(Rational, CrossCancellingMulDiv) {
+  // Results must stay in lowest terms with positive denominators even when
+  // all the cancellation happens across the operands.
+  EXPECT_EQ(Rational(4, 9) * Rational(3, 8), Rational(1, 6));
+  EXPECT_EQ(Rational(-4, 9) * Rational(3, 8), Rational(-1, 6));
+  EXPECT_EQ(Rational(4, 9) / Rational(8, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(4, 9) / Rational(-8, 3), Rational(-1, 6));
+  EXPECT_EQ(Rational(0) * Rational(7, 3), Rational(0));
+  EXPECT_EQ(Rational(0) / Rational(7, 3), Rational(0));
+  EXPECT_EQ((Rational(0) / Rational(7, 3)).den(), BigInt{1});
+  // Aliasing: r *= r and r /= r.
+  Rational r{6, 10};
+  r *= r;
+  EXPECT_EQ(r, Rational(9, 25));
+  r /= r;
+  EXPECT_EQ(r, Rational(1));
+  // Huge common factors cancel exactly.
+  const Rational big{BigInt::pow10(40) * BigInt{3}, BigInt{7}};
+  EXPECT_EQ(big * big.reciprocal(), Rational(1));
+  const Rational x{BigInt{21}, BigInt::pow10(40)};
+  EXPECT_EQ(big * x, Rational(9, 1));
+}
+
 TEST(Rational, Ordering) {
   EXPECT_LT((Rational{1, 3}), (Rational{1, 2}));
   EXPECT_LT((Rational{-1, 2}), (Rational{-1, 3}));

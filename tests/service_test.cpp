@@ -203,6 +203,16 @@ TEST_F(ServiceTest, TimeoutBudgetIsSharedBetweenSynthesisAndValidation) {
   // equal time in both stages, which makes the two behaviours observable:
   // with one shared deadline, validation only gets what synthesis left and
   // times out; with a fresh deadline it would finish and answer `valid`.
+  //
+  // Pin the exact solver to Bareiss: the multi-modular backend makes this
+  // synthesis an order of magnitude faster, which collapses the s ~= v
+  // balance the calibration below relies on.  The property under test is
+  // the service's deadline accounting, not solver speed, so the slower
+  // deterministic backend is the right workload.
+  struct ScopedBareiss {
+    ScopedBareiss() { ::setenv("SPIV_EXACT_SOLVER", "bareiss", 1); }
+    ~ScopedBareiss() { ::unsetenv("SPIV_EXACT_SOLVER"); }
+  } scoped_bareiss;
   const std::string cmd =
       "verify " + case_path("size5") + " 0 eq-smt - smt-z3 0";
 
