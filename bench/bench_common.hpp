@@ -20,13 +20,13 @@
 
 #include <unistd.h>
 
-#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <thread>
 
+#include "core/env.hpp"
 #include "core/experiments.hpp"
 #include "core/format.hpp"
 #include "obs/metrics.hpp"
@@ -54,19 +54,24 @@ inline std::string machine_meta_fields() {
   return os.str();
 }
 
+inline bool env_present(const char* name) {
+  const char* v = core::env::raw(name);
+  return v && *v;
+}
+
 inline double env_double(const char* name, double fallback) {
-  const char* v = std::getenv(name);
+  const char* v = core::env::raw(name);
   return v ? std::atof(v) : fallback;
 }
 
 inline bool env_flag(const char* name) {
-  const char* v = std::getenv(name);
+  const char* v = core::env::raw(name);
   return v && *v && std::string{v} != "0";
 }
 
 inline std::vector<std::size_t> env_sizes(
     const std::vector<std::size_t>& fallback) {
-  const char* v = std::getenv("SPIV_SIZES");
+  const char* v = core::env::raw("SPIV_SIZES");
   if (!v) return fallback;
   std::vector<std::size_t> out;
   std::stringstream ss{v};

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   // (the paper validates all 192 candidates; the SMT-style engines make
   // the largest ones too slow for a default run — raise SPIV_SIZES /
   // SPIV_VALIDATE_TIMEOUT for the full protocol).
-  if (!std::getenv("SPIV_SIZES") && !bench::env_flag("SPIV_QUICK"))
+  if (!bench::env_present("SPIV_SIZES") && !bench::env_flag("SPIV_QUICK"))
     config.sizes = {3, 5};  // SPIV_SIZES=3,5,10[,15] for the wider sweep
   core::Table1Result table1 = core::run_table1(config);
   std::cout << "candidate pool: " << table1.candidates.size()

@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
   const std::string metrics_out = bench::metrics_out_path(argc, argv);
   core::ExperimentConfig config = bench::make_config(
       /*synth_timeout=*/120.0, /*validate_timeout=*/60.0);
-  if (!std::getenv("SPIV_SIZES") && !bench::env_flag("SPIV_QUICK"))
+  if (!bench::env_present("SPIV_SIZES") && !bench::env_flag("SPIV_QUICK"))
     config.sizes = {3, 5};  // SPIV_SIZES=3,5,10 for the wider run
   core::PiecewiseResult result = core::run_piecewise(config);
   std::cout << core::format_piecewise(result);

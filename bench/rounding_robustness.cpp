@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   const std::string metrics_out = bench::metrics_out_path(argc, argv);
   core::ExperimentConfig config = bench::make_config(
       /*synth_timeout=*/60.0, /*validate_timeout=*/30.0);
-  if (!std::getenv("SPIV_SIZES") && !bench::env_flag("SPIV_QUICK"))
+  if (!bench::env_present("SPIV_SIZES") && !bench::env_flag("SPIV_QUICK"))
     config.sizes = {3, 5, 10};  // SPIV_SIZES=... to widen
   core::Table1Result table1 = core::run_table1(config);
   std::cout << "candidate pool: " << table1.candidates.size()

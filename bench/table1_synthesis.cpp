@@ -11,12 +11,14 @@
 // own wall-clock and worker count in BENCH_table1.json so the parallel
 // speedup (SPIV_JOBS=N vs 1) can be tracked by machines.
 //
-// With SPIV_COLD_WARM=1 and SPIV_CACHE_DIR set, the grid runs twice —
-// cold (computing + filling the certificate store) then warm (served from
-// the store) — and BENCH_service.json records cold/warm seconds, the hit
-// count, and whether the two tables were byte-identical, so the perf
-// trajectory captures cache effectiveness.
+// With SPIV_COLD_WARM=1 and a certificate store (--cache-dir DIR or
+// $SPIV_CACHE_DIR), the grid runs twice — cold (computing + filling the
+// certificate store) then warm (served from the store) — and
+// BENCH_service.json records cold/warm seconds, the hit count, and whether
+// the two tables were byte-identical, so the perf trajectory captures
+// cache effectiveness.
 #include <chrono>
+#include <cstring>
 #include <iostream>
 #include <sstream>
 
@@ -24,6 +26,7 @@
 #include "core/format.hpp"
 #include "core/parallel.hpp"
 #include "store/cert_store.hpp"
+#include "verify/verify.hpp"
 
 namespace {
 
@@ -58,15 +61,31 @@ std::string service_bench_json(double cold_seconds, double warm_seconds,
 
 int main(int argc, char** argv) {
   using namespace spiv;
-  const std::string metrics_out = bench::metrics_out_path(argc, argv);
+  // This harness takes --cache-dir in addition to the common --metrics-out,
+  // so it parses its own arguments instead of bench::metrics_out_path.
+  std::string metrics_out, cache_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--metrics-out") && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (!std::strcmp(argv[i], "--cache-dir") && i + 1 < argc) {
+      cache_dir = argv[++i];
+    } else {
+      std::cerr << "bench: ignoring unknown argument '" << argv[i]
+                << "' (supported: --metrics-out FILE, --cache-dir DIR)\n";
+    }
+  }
   core::ExperimentConfig config = bench::make_config(
       /*synth_timeout=*/75.0, /*validate_timeout=*/60.0);
   const std::size_t jobs = core::resolve_jobs(config.jobs);
 
-  store::CertStore* cache = store::CertStore::from_env();
+  // Explicit --cache-dir wins over $SPIV_CACHE_DIR; the resolved store is
+  // handed to run_table1 through the config (one resolution point).
+  store::CertStore* cache = verify::resolve_store(cache_dir);
+  config.store = cache;
   const bool cold_warm = bench::env_flag("SPIV_COLD_WARM") && cache != nullptr;
   if (bench::env_flag("SPIV_COLD_WARM") && !cache)
-    std::cerr << "table1: SPIV_COLD_WARM=1 ignored (SPIV_CACHE_DIR unset)\n";
+    std::cerr << "table1: SPIV_COLD_WARM=1 ignored (no --cache-dir and "
+                 "SPIV_CACHE_DIR unset)\n";
 
   core::Table1Result result;
   const double wall = run_once(config, result);

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> sizes =
       bench::env_flag("SPIV_QUICK") ? std::vector<std::size_t>{5}
                                     : std::vector<std::size_t>{15, 18};
-  if (std::getenv("SPIV_SIZES")) sizes = bench::env_sizes(sizes);
+  if (bench::env_present("SPIV_SIZES")) sizes = bench::env_sizes(sizes);
   core::Table2Result result = core::run_table2(config, sizes);
   std::cout << core::format_table2(result);
   core::write_file("table2.csv", core::table2_csv(result));

@@ -6,10 +6,9 @@
 // Build & run:  ./build/examples/engine_verification
 #include <cstdio>
 
-#include "lyapunov/synthesis.hpp"
 #include "model/engine.hpp"
 #include "numeric/eigen.hpp"
-#include "smt/validate.hpp"
+#include "verify/verify.hpp"
 
 int main() {
   using namespace spiv;
@@ -37,24 +36,28 @@ int main() {
     std::printf("  spectral abscissa: %.4f\n", numeric::spectral_abscissa(a));
 
     // Synthesize with the LMIa method (decay-rate alpha), the method the
-    // paper found most robust, then validate exactly.
-    lyap::SynthesisOptions options;
-    options.alpha = 0.1;
-    auto candidate = lyap::synthesize(a, lyap::Method::LmiAlpha, options);
-    if (!candidate) {
+    // paper found most robust, then validate exactly — one verify-pipeline
+    // call owns both stages.
+    verify::VerifyContext ctx = verify::VerifyContext::from_env();
+    verify::VerifyRequest req;
+    req.a = a;
+    req.method = lyap::Method::LmiAlpha;
+    req.digits = 10;
+    req.options.alpha = 0.1;
+    const verify::VerifyOutcome res = verify::run_verify(ctx, req);
+    if (!res.synthesized()) {
       std::printf("  synthesis FAILED\n");
       all_proved = false;
       continue;
     }
-    std::printf("  LMIa candidate synthesized in %.2fs\n",
-                candidate->synth_seconds);
+    std::printf("  LMIa candidate synthesized in %.2fs\n", res.synth_seconds);
 
-    auto verdict = smt::validate_lyapunov(a, candidate->p,
-                                          smt::Engine::Sylvester, 10);
     std::printf("  exact validation (10 significant digits): %s  [%.2fs]\n",
-                verdict.valid() ? "VALID — mode proved stable" : "FAILED",
-                verdict.seconds());
-    all_proved &= verdict.valid();
+                res.status == verify::Status::Valid
+                    ? "VALID — mode proved stable"
+                    : "FAILED",
+                res.validate_seconds);
+    all_proved &= res.status == verify::Status::Valid;
 
     // Equilibrium of the mode and its location w.r.t. the guard.
     numeric::Vector w_eq = system.mode(mode).equilibrium(r);

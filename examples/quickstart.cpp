@@ -9,10 +9,9 @@
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
-#include "lyapunov/synthesis.hpp"
 #include "model/switched_pi.hpp"
 #include "numeric/eigen.hpp"
-#include "smt/validate.hpp"
+#include "verify/verify.hpp"
 
 int main() {
   using namespace spiv;
@@ -37,29 +36,36 @@ int main() {
               closed.a.rows(), numeric::spectral_abscissa(closed.a));
 
   // Synthesize a candidate Lyapunov function (Bartels–Stewart here; see
-  // lyap::Method for the full palette of paper methods).
-  auto candidate = lyap::synthesize(closed.a, lyap::Method::EqNum);
-  if (!candidate) {
+  // lyap::Method for the full palette of paper methods) and validate it
+  // exactly — one call into the verify pipeline: the candidate is rounded
+  // to 10 significant figures and both Lyapunov conditions are decided in
+  // exact rational arithmetic (Sylvester criterion).
+  verify::VerifyContext ctx = verify::VerifyContext::from_env();
+  verify::VerifyRequest req;
+  req.a = closed.a;
+  req.method = lyap::Method::EqNum;
+  req.digits = 10;
+  const verify::VerifyOutcome res = verify::run_verify(ctx, req);
+  if (!res.synthesized()) {
     std::printf("synthesis failed — the closed loop is not stable\n");
     return 1;
   }
-  std::printf("candidate synthesized in %.4fs\n", candidate->synth_seconds);
+  const lyap::Candidate& candidate = *res.candidate_ptr();
+  std::printf("candidate synthesized in %.4fs\n", res.synth_seconds);
 
-  // Validate exactly: candidate rounded to 10 significant figures, both
-  // Lyapunov conditions decided in exact rational arithmetic.
-  auto verdict = smt::validate_lyapunov(closed.a, candidate->p,
-                                        smt::Engine::Sylvester, /*digits=*/10);
+  const smt::LyapunovValidation& verdict = *res.validation_ptr();
   std::printf("exact validation: positivity %s, decrease %s => %s\n",
               verdict.positivity.outcome == smt::Outcome::Valid ? "ok" : "FAIL",
               verdict.decrease.outcome == smt::Outcome::Valid ? "ok" : "FAIL",
-              verdict.valid() ? "PROVED STABLE" : "NOT PROVED");
+              res.status == verify::Status::Valid ? "PROVED STABLE"
+                                                  : "NOT PROVED");
 
   // The certificate: V(w) = (w - w_eq)^T P (w - w_eq).
   std::printf("P =\n");
-  for (std::size_t i = 0; i < candidate->p.rows(); ++i) {
-    for (std::size_t j = 0; j < candidate->p.cols(); ++j)
-      std::printf("  % .6f", candidate->p(i, j));
+  for (std::size_t i = 0; i < candidate.p.rows(); ++i) {
+    for (std::size_t j = 0; j < candidate.p.cols(); ++j)
+      std::printf("  % .6f", candidate.p(i, j));
     std::printf("\n");
   }
-  return verdict.valid() ? 0 : 1;
+  return res.status == verify::Status::Valid ? 0 : 1;
 }

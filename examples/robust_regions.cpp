@@ -10,10 +10,10 @@
 #include <cstdlib>
 #include <random>
 
-#include "lyapunov/synthesis.hpp"
 #include "model/reduction.hpp"
 #include "robust/region.hpp"
 #include "sim/integrator.hpp"
+#include "verify/verify.hpp"
 
 int main(int argc, char** argv) {
   using namespace spiv;
@@ -32,13 +32,18 @@ int main(int argc, char** argv) {
 
   for (std::size_t mode = 0; mode < system.num_modes(); ++mode) {
     std::printf("=== mode %zu ===\n", mode);
-    auto candidate = lyap::synthesize(system.mode(mode).a, lyap::Method::Lmi);
-    if (!candidate) {
+    verify::VerifyContext ctx = verify::VerifyContext::from_env();
+    verify::VerifyRequest req;
+    req.a = system.mode(mode).a;
+    req.method = lyap::Method::Lmi;
+    const verify::VerifyOutcome res = verify::run_synthesize(ctx, req);
+    if (!res.synthesized()) {
       std::printf("  synthesis failed\n");
       continue;
     }
+    const lyap::Candidate& candidate = *res.candidate_ptr();
     robust::RobustRegion region =
-        robust::synthesize_region(system, mode, candidate->p, r);
+        robust::synthesize_region(system, mode, candidate.p, r);
     if (region.flow_constant_on_surface) {
       std::printf("  flow constant on the surface: W = whole region\n");
     } else {
@@ -48,7 +53,7 @@ int main(int argc, char** argv) {
       std::printf("  vol(W) = %.3e   [%.2fs]\n", region.volume, region.seconds);
     }
     const double eps = robust::reference_robustness_epsilon(
-        system, mode, candidate->p, r, region);
+        system, mode, candidate.p, r, region);
     std::printf("  eps = %.3e  (references within this ball keep the old\n"
                 "                equilibrium inside the new robust region)\n",
                 eps);
@@ -65,7 +70,7 @@ int main(int argc, char** argv) {
       Vector dir(system.dim());
       for (auto& v : dir) v = gauss(rng);
       const double scale =
-          std::sqrt(0.9 * region.k / candidate->p.quad_form(dir));
+          std::sqrt(0.9 * region.k / candidate.p.quad_form(dir));
       Vector w0(system.dim());
       for (std::size_t i = 0; i < system.dim(); ++i)
         w0[i] = w_eq[i] + scale * dir[i];

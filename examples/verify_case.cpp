@@ -9,6 +9,12 @@
 //   2. validates both Lyapunov conditions exactly,
 //   3. synthesizes + certifies the robust region and both robustness radii.
 // Exit code 0 iff every mode is proved stable with a certified region.
+//
+// --timeout is a SHARED per-mode budget (verify::SharedBudget): synthesis,
+// validation, and the region computation all draw from the same deadline,
+// so one mode can never burn more than its declared budget.  (An earlier
+// version minted a fresh full-timeout deadline per stage, letting one mode
+// spend 3x the declared budget.)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -18,7 +24,7 @@
 #include "model/serialize.hpp"
 #include "numeric/eigen.hpp"
 #include "robust/region.hpp"
-#include "smt/validate.hpp"
+#include "verify/verify.hpp"
 
 namespace {
 
@@ -83,43 +89,47 @@ int main(int argc, char** argv) {
   for (std::size_t mode = 0; mode < sys.num_modes(); ++mode) {
     std::printf("mode %zu: abscissa %+.4f  ", mode,
                 numeric::spectral_abscissa(sys.mode(mode).a));
-    lyap::SynthesisOptions options;
-    options.deadline = Deadline::after_seconds(timeout);
-    std::optional<lyap::Candidate> cand;
-    try {
-      cand = lyap::synthesize(sys.mode(mode).a, method, options);
-    } catch (const TimeoutError&) {
-      std::printf("synthesis TIMEOUT\n");
+    verify::VerifyContext ctx = verify::VerifyContext::from_env();
+    verify::VerifyRequest vreq;
+    vreq.a = sys.mode(mode).a;
+    vreq.method = method;
+    vreq.digits = digits;
+    vreq.budget = verify::SharedBudget{timeout};
+    const verify::VerifyOutcome res = verify::run_verify(ctx, vreq);
+    if (res.status == verify::Status::Timeout) {
+      std::printf("%s TIMEOUT\n",
+                  res.timeout_stage == verify::Stage::Synthesis
+                      ? "synthesis"
+                      : "exact validation");
       all_ok = false;
       continue;
     }
-    if (!cand) {
-      std::printf("synthesis FAILED\n");
+    if (res.status == verify::Status::SynthFailed ||
+        res.status == verify::Status::Error) {
+      std::printf("synthesis FAILED%s%s\n", res.message.empty() ? "" : ": ",
+                  res.message.c_str());
       all_ok = false;
       continue;
     }
-    smt::CheckOptions check;
-    check.deadline = Deadline::after_seconds(timeout);
-    auto verdict = smt::validate_lyapunov(sys.mode(mode).a, cand->p,
-                                          smt::Engine::Sylvester, digits,
-                                          check);
-    if (!verdict.valid()) {
+    if (res.status != verify::Status::Valid) {
       std::printf("exact validation FAILED\n");
       all_ok = false;
       continue;
     }
-    std::printf("stable (exact proof, %.2fs+%.2fs)  ", cand->synth_seconds,
-                verdict.seconds());
+    const lyap::Candidate& cand = *res.candidate_ptr();
+    std::printf("stable (exact proof, %.2fs+%.2fs)  ", res.synth_seconds,
+                res.validate_seconds);
     try {
       robust::RegionOptions ropt;
       ropt.digits = digits;
-      ropt.deadline = Deadline::after_seconds(timeout);
+      // Chain the region work on the pipeline's remaining budget.
+      ropt.deadline = res.deadline;
       robust::RobustRegion region =
-          robust::synthesize_region(sys, mode, cand->p, bm.references, ropt);
+          robust::synthesize_region(sys, mode, cand.p, bm.references, ropt);
       const double eps = robust::reference_robustness_epsilon(
-          sys, mode, cand->p, bm.references, region);
+          sys, mode, cand.p, bm.references, region);
       const double alpha = robust::state_robustness_radius(
-          sys, mode, cand->p, bm.references, region);
+          sys, mode, cand.p, bm.references, region);
       std::printf("region k=%.4g cert=%s vol=%.3g alpha=%.3g eps=%.3g\n",
                   region.k, region.certified ? "yes" : "NO", region.volume,
                   alpha, eps);

@@ -9,6 +9,7 @@
 #include "model/switched_pi.hpp"
 #include "obs/span.hpp"
 #include "store/cert_store.hpp"
+#include "verify/verify.hpp"
 
 namespace spiv::core {
 
@@ -96,11 +97,12 @@ Table1Result run_table1(const ExperimentConfig& config) {
   };
   std::vector<SynthOutcome> outcomes(result.strategies.size() * num_cases);
 
-  // Certificate store, enabled by $SPIV_CACHE_DIR (nullptr = recompute
-  // everything, exactly the pre-cache behaviour).  Warm entries replay the
-  // stored candidate, verdict, and synthesis time, so a warm run produces
-  // bit-identical table cells.
-  store::CertStore* cache = store::CertStore::from_env();
+  // Certificate store: an explicit config.store wins; nullopt resolves
+  // $SPIV_CACHE_DIR (nullptr = recompute everything, exactly the pre-cache
+  // behaviour).  Warm entries replay the stored candidate, verdict, and
+  // synthesis time, so a warm run produces bit-identical table cells.
+  store::CertStore* cache =
+      config.store ? *config.store : store::CertStore::from_env();
 
   for_each_job(
       outcomes.size(), config.jobs,
@@ -114,53 +116,35 @@ Table1Result run_table1(const ExperimentConfig& config) {
                << " mode " << mc.mode << "\n";
           progress(config, line.str());
         }
-        lyap::SynthesisOptions options;
-        options.alpha = config.alpha;
-        options.nu = config.nu;
-        if (strategy.backend) options.backend = *strategy.backend;
-        std::string key;
-        if (cache) {
-          store::CertRequest request;
-          request.a = mc.a;
-          request.method = strategy.method;
-          request.backend = strategy.backend;
-          request.engine = smt::Engine::Sylvester;
-          request.digits = config.digits;
-          request.set_synthesis_params(options);
-          key = store::request_key(request);
-          if (auto record = cache->lookup(key)) {
-            out.synthesized = true;
-            out.synth_seconds = record->candidate.synth_seconds;
-            out.valid = record->validation.valid();
-            out.p = record->candidate.p;  // record is shared with the cache
-            return;
-          }
-        }
-        options.deadline =
-            Deadline::after_seconds(config.synth_timeout_seconds, token);
-        std::optional<lyap::Candidate> candidate;
-        try {
-          candidate = lyap::synthesize(mc.a, strategy.method, options);
-        } catch (const TimeoutError&) {
+        verify::VerifyContext ctx;
+        ctx.store = cache;
+        ctx.token = &token;
+        verify::VerifyRequest vreq;
+        vreq.a = mc.a;
+        vreq.method = strategy.method;
+        vreq.backend = strategy.backend;
+        vreq.engine = smt::Engine::Sylvester;
+        vreq.digits = config.digits;
+        vreq.options.alpha = config.alpha;
+        vreq.options.nu = config.nu;
+        // Table I semantics: independent per-stage budgets, validation's
+        // clock starting only once synthesis is done.
+        vreq.budget = verify::SplitBudget{config.synth_timeout_seconds,
+                                          config.validate_timeout_seconds};
+        verify::VerifyOutcome res = verify::run_verify(ctx, vreq);
+        // The table's "TO" cells count synthesis timeouts only; a
+        // validation timeout keeps the synthesized candidate in play.
+        if (res.status == verify::Status::Timeout &&
+            res.timeout_stage == verify::Stage::Synthesis) {
           out.timeout = true;
           return;
         }
-        if (!candidate) return;
+        if (!res.synthesized()) return;
         out.synthesized = true;
-        out.synth_seconds = candidate->synth_seconds;
-
-        smt::CheckOptions check;
-        check.deadline =
-            Deadline::after_seconds(config.validate_timeout_seconds, token);
-        auto validation = smt::validate_lyapunov(
-            mc.a, candidate->p, smt::Engine::Sylvester, config.digits, check);
-        out.valid = validation.valid();
-        // Only completed verdicts become certificates: a timeout depends on
-        // this run's budget and must not poison warmer runs.
-        if (cache && validation.positivity.outcome != smt::Outcome::Timeout &&
-            validation.decrease.outcome != smt::Outcome::Timeout)
-          cache->insert(key, store::CertRecord{*candidate, validation});
-        out.p = std::move(candidate->p);
+        out.synth_seconds = res.synth_seconds;
+        out.valid = res.status == verify::Status::Valid;
+        out.p = res.candidate ? std::move(res.candidate->p)
+                              : res.record->candidate.p;  // hit: shared record
       });
 
   // Merge in (strategy, case) order — the serial loop nest's order — so the
@@ -228,28 +212,31 @@ Figure3Result run_figure3(const std::vector<CandidateRecord>& candidates,
                << c << "/" << num_candidates << "\n";
           progress(config, line.str());
         }
-        smt::CheckOptions check;
-        check.det_encoding = result.engines[e].det_encoding;
-        check.deadline =
-            Deadline::after_seconds(config.validate_timeout_seconds, token);
-        const auto t0 = std::chrono::steady_clock::now();
-        auto validation =
-            smt::validate_lyapunov(candidates[c].a, candidates[c].p,
-                                   result.engines[e].engine, config.digits,
-                                   check);
+        verify::VerifyContext ctx;
+        ctx.token = &token;
+        verify::ValidateRequest vreq;
+        vreq.a = candidates[c].a;
+        vreq.p = candidates[c].p;
+        vreq.engine = result.engines[e].engine;
+        vreq.digits = config.digits;
+        vreq.det_encoding = result.engines[e].det_encoding;
+        vreq.timeout_seconds = config.validate_timeout_seconds;
+        const verify::VerifyOutcome res = verify::run_validate(ctx, vreq);
         ValidationSample& sample = result.samples[idx];
         sample.candidate_index = c;
         sample.engine_index = e;
-        sample.seconds = std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - t0)
-                             .count();
-        if (validation.positivity.outcome == smt::Outcome::Timeout ||
-            validation.decrease.outcome == smt::Outcome::Timeout)
-          sample.outcome = smt::Outcome::Timeout;
-        else if (validation.valid())
-          sample.outcome = smt::Outcome::Valid;
-        else
-          sample.outcome = smt::Outcome::Invalid;
+        sample.seconds = res.validate_seconds;
+        switch (res.status) {
+          case verify::Status::Timeout:
+            sample.outcome = smt::Outcome::Timeout;
+            break;
+          case verify::Status::Valid:
+            sample.outcome = smt::Outcome::Valid;
+            break;
+          default:
+            sample.outcome = smt::Outcome::Invalid;
+            break;
+        }
       });
   return result;
 }
@@ -269,15 +256,18 @@ RoundingResult run_rounding_study(
       [&](std::size_t idx, const CancelToken& token) {
         const CandidateRecord& record = candidates[idx / num_levels];
         const int digits = digit_levels[idx % num_levels];
-        smt::CheckOptions check;
-        check.deadline =
-            Deadline::after_seconds(config.validate_timeout_seconds, token);
-        auto validation = smt::validate_lyapunov(
-            record.a, record.p, smt::Engine::Sylvester, digits, check);
-        if (validation.positivity.outcome == smt::Outcome::Timeout ||
-            validation.decrease.outcome == smt::Outcome::Timeout)
+        verify::VerifyContext ctx;
+        ctx.token = &token;
+        verify::ValidateRequest vreq;
+        vreq.a = record.a;
+        vreq.p = record.p;
+        vreq.engine = smt::Engine::Sylvester;
+        vreq.digits = digits;
+        vreq.timeout_seconds = config.validate_timeout_seconds;
+        const verify::VerifyOutcome res = verify::run_validate(ctx, vreq);
+        if (res.status == verify::Status::Timeout)
           outcomes[idx] = 2;
-        else if (validation.valid())
+        else if (res.status == verify::Status::Valid)
           outcomes[idx] = 0;
         else
           outcomes[idx] = 1;
@@ -342,34 +332,34 @@ Table2Result run_table2(const ExperimentConfig& config,
         entry.size = tc.bm->size;
         entry.mode = tc.mode;
         entry.strategy = tc.strategy;
-        lyap::SynthesisOptions options;
-        options.alpha = config.alpha;
-        options.nu = config.nu;
-        if (tc.strategy.backend) options.backend = *tc.strategy.backend;
-        options.deadline =
-            Deadline::after_seconds(config.synth_timeout_seconds, token);
-        std::optional<lyap::Candidate> candidate;
-        try {
-          candidate = lyap::synthesize(tc.system->mode(tc.mode).a,
-                                       tc.strategy.method, options);
-        } catch (const TimeoutError&) {
-        }
-        if (!candidate) return;
+        verify::VerifyContext ctx;
+        ctx.token = &token;
+        verify::VerifyRequest vreq;
+        vreq.a = tc.system->mode(tc.mode).a;
+        vreq.method = tc.strategy.method;
+        vreq.backend = tc.strategy.backend;
+        vreq.options.alpha = config.alpha;
+        vreq.options.nu = config.nu;
+        vreq.budget = verify::SplitBudget{config.synth_timeout_seconds,
+                                          config.validate_timeout_seconds};
+        const verify::VerifyOutcome res = verify::run_synthesize(ctx, vreq);
+        if (!res.synthesized()) return;
         entry.synthesized = true;
         try {
           robust::RegionOptions region_options;
           region_options.digits = config.digits;
-          region_options.deadline = Deadline::after_seconds(
-              config.validate_timeout_seconds, token);
+          // The region computation plays validation's role: run_synthesize
+          // hands back the split validate budget, clock started just now.
+          region_options.deadline = res.deadline;
           robust::RobustRegion region = robust::synthesize_region(
-              *tc.system, tc.mode, candidate->p, tc.bm->references,
+              *tc.system, tc.mode, res.candidate->p, tc.bm->references,
               region_options);
           entry.certified = region.certified;
           entry.optimal = region.optimal;
           entry.seconds = region.seconds;
           entry.volume = region.volume;
           entry.epsilon = robust::reference_robustness_epsilon(
-              *tc.system, tc.mode, candidate->p, tc.bm->references, region);
+              *tc.system, tc.mode, res.candidate->p, tc.bm->references, region);
         } catch (const TimeoutError&) {
         } catch (const std::runtime_error&) {
           // e.g. candidate not PD after rounding: leave uncertified.

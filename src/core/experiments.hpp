@@ -14,6 +14,10 @@
 #include "robust/region.hpp"
 #include "smt/validate.hpp"
 
+namespace spiv::store {
+class CertStore;
+}
+
 namespace spiv::core {
 
 /// One synthesis strategy row of Table I: a method plus (for the LMI
@@ -45,11 +49,16 @@ struct ExperimentConfig {
   /// All drivers merge job results in case-index order, so every non-timing
   /// output (counts, candidates, outcomes) is identical for any value.
   ///
-  /// When $SPIV_CACHE_DIR is set, run_table1 additionally consults the
+  /// When a store is available, run_table1 additionally consults the
   /// content-addressed certificate store (store/cert_store.hpp): warm
   /// entries replay the stored candidate, verdict, and recorded synthesis
   /// time, making a warm re-run near-instant with bit-identical cells.
   std::size_t jobs = 0;
+  /// Certificate store override: nullopt resolves $SPIV_CACHE_DIR
+  /// (store::CertStore::from_env); an explicit nullptr disables caching; an
+  /// explicit pointer (e.g. from verify::resolve_store on --cache-dir) is
+  /// used as-is.
+  std::optional<store::CertStore*> store;
 };
 
 /// One synthesized candidate, kept for the downstream experiments

@@ -2,17 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cerrno>
-#include <cstdlib>
 #include <iostream>
+
+#include "core/env.hpp"
 
 namespace spiv::core {
 
 namespace {
 
-/// One stderr warning per process for a bad $SPIV_JOBS value: the harnesses
-/// call resolve_jobs once per driver, and a misconfigured environment should
-/// not spam every invocation.
+/// One stderr warning per process for an over-cap jobs request (the
+/// malformed-value warning lives in core::env, next to the parse).
 void warn_jobs_once(const std::string& message) {
   static std::atomic<bool> warned{false};
   if (!warned.exchange(true)) std::cerr << "spiv: " << message << "\n";
@@ -31,14 +30,7 @@ std::size_t jobs_cap() { return 8 * hardware_jobs(); }
 }  // namespace
 
 std::optional<std::size_t> parse_jobs(const char* text) {
-  if (!text || *text == '\0') return std::nullopt;
-  // Require a full parse: "4abc" used to slip through strtol as 4.
-  char* end = nullptr;
-  errno = 0;
-  const long v = std::strtol(text, &end, 10);
-  if (end == text || *end != '\0' || errno != 0 || v <= 0)
-    return std::nullopt;
-  return static_cast<std::size_t>(v);
+  return env::parse_positive(text);
 }
 
 std::size_t resolve_jobs(std::size_t requested) {
@@ -50,20 +42,15 @@ std::size_t resolve_jobs(std::size_t requested) {
                    " (8x hardware_concurrency); using " + std::to_string(cap));
     return cap;
   }
-  const std::size_t hw = hardware_jobs();
-  if (const char* env = std::getenv("SPIV_JOBS")) {
-    if (const std::optional<std::size_t> v = parse_jobs(env)) {
-      if (*v <= cap) return *v;
-      warn_jobs_once("SPIV_JOBS=" + std::string{env} + " exceeds " +
-                     std::to_string(cap) + " (8x hardware_concurrency); using " +
-                     std::to_string(cap));
-      return cap;
-    }
-    warn_jobs_once("ignoring invalid SPIV_JOBS='" + std::string{env} +
-                   "' (must be a positive integer); using " +
-                   std::to_string(hw));
+  // env::jobs() warns once on malformed values and reads as nullopt.
+  if (const std::optional<std::size_t> v = env::jobs()) {
+    if (*v <= cap) return *v;
+    warn_jobs_once("SPIV_JOBS=" + std::to_string(*v) + " exceeds " +
+                   std::to_string(cap) + " (8x hardware_concurrency); using " +
+                   std::to_string(cap));
+    return cap;
   }
-  return hw;
+  return hardware_jobs();
 }
 
 JobPool::JobPool(std::size_t threads)

@@ -88,8 +88,8 @@ bool lyapunov_residual_is_zero(const RatMatrix& a, const RatMatrix& p,
 /// or reconstruction failed.  Only genuine failures count as fallbacks.
 std::optional<std::vector<Rational>> try_modular_solve(
     const RatMatrix& op, const std::vector<Rational>& rhs,
-    const Deadline& deadline) {
-  if (!modular_preferred(op.rows(), exact_solver_strategy()))
+    const Deadline& deadline, std::optional<ExactSolverStrategy> strategy) {
+  if (!modular_preferred(op.rows(), strategy.value_or(exact_solver_strategy())))
     return std::nullopt;
   RatMatrix b{op.rows(), 1};
   for (std::size_t i = 0; i < rhs.size(); ++i) b(i, 0) = rhs[i];
@@ -157,9 +157,9 @@ RatMatrix lyapunov_operator_vech(const RatMatrix& a, const Deadline& deadline) {
   return op;
 }
 
-std::optional<RatMatrix> solve_lyapunov_exact(const RatMatrix& a,
-                                              const RatMatrix& q,
-                                              const Deadline& deadline) {
+std::optional<RatMatrix> solve_lyapunov_exact(
+    const RatMatrix& a, const RatMatrix& q, const Deadline& deadline,
+    std::optional<ExactSolverStrategy> strategy) {
   if (!a.is_square() || !q.is_square() || a.rows() != q.rows())
     throw std::invalid_argument("solve_lyapunov_exact: shape mismatch");
   if (!q.is_symmetric())
@@ -167,7 +167,7 @@ std::optional<RatMatrix> solve_lyapunov_exact(const RatMatrix& a,
   const std::size_t n = a.rows();
   RatMatrix op = lyapunov_operator_vech(a, deadline);
   const std::vector<Rational> rhs = vech(-q);
-  if (auto xm = try_modular_solve(op, rhs, deadline)) {
+  if (auto xm = try_modular_solve(op, rhs, deadline, strategy)) {
     RatMatrix p = unvech(*xm, n);
     // The modular path already verified op·x == rhs; this recheck is the
     // belt-and-braces guarantee that what we hand out satisfies the
@@ -188,7 +188,8 @@ RatMatrix lyapunov_residual(const RatMatrix& a, const RatMatrix& p,
 }
 
 std::optional<RatMatrix> solve_lyapunov_exact_full_kronecker(
-    const RatMatrix& a, const RatMatrix& q, const Deadline& deadline) {
+    const RatMatrix& a, const RatMatrix& q, const Deadline& deadline,
+    std::optional<ExactSolverStrategy> strategy) {
   if (!a.is_square() || !q.is_square() || a.rows() != q.rows())
     throw std::invalid_argument("solve_lyapunov_exact_full_kronecker: shape");
   const std::size_t n = a.rows();
@@ -208,7 +209,7 @@ std::optional<RatMatrix> solve_lyapunov_exact_full_kronecker(
         p(row, col) = v[col * n + row];
     return p;
   };
-  if (auto xm = try_modular_solve(op, rhs, deadline)) {
+  if (auto xm = try_modular_solve(op, rhs, deadline, strategy)) {
     RatMatrix p = unstack(*xm).symmetrized();
     if (lyapunov_residual_is_zero(a, p, q, deadline)) return p;
     fallback_counter().add();

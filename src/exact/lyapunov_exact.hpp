@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "exact/matrix.hpp"
+#include "exact/modular.hpp"
 #include "exact/timeout.hpp"
 
 namespace spiv::exact {
@@ -35,9 +36,11 @@ namespace spiv::exact {
 /// Solve A^T P + P A + Q = 0 exactly for symmetric P.
 /// Q must be symmetric.  Returns nullopt when the Lyapunov operator is
 /// singular (i.e. A and -A share an eigenvalue).  Throws TimeoutError when
-/// the deadline expires mid-solve.
+/// the deadline expires mid-solve.  `strategy` overrides the process-wide
+/// $SPIV_EXACT_SOLVER selection (verify::VerifyContext threads it through).
 [[nodiscard]] std::optional<RatMatrix> solve_lyapunov_exact(
-    const RatMatrix& a, const RatMatrix& q, const Deadline& deadline = {});
+    const RatMatrix& a, const RatMatrix& q, const Deadline& deadline = {},
+    std::optional<ExactSolverStrategy> strategy = {});
 
 /// Residual A^T P + P A + Q (all-zero iff P solves the equation).
 [[nodiscard]] RatMatrix lyapunov_residual(const RatMatrix& a,
@@ -50,6 +53,7 @@ namespace spiv::exact {
 /// kept to quantify what the symmetric parameterization buys
 /// (see bench/ablation_exact_solvers).
 [[nodiscard]] std::optional<RatMatrix> solve_lyapunov_exact_full_kronecker(
-    const RatMatrix& a, const RatMatrix& q, const Deadline& deadline = {});
+    const RatMatrix& a, const RatMatrix& q, const Deadline& deadline = {},
+    std::optional<ExactSolverStrategy> strategy = {});
 
 }  // namespace spiv::exact

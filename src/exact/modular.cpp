@@ -3,13 +3,13 @@
 #include <atomic>
 #include <bit>
 #include <chrono>
-#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <mutex>
 #include <stdexcept>
 #include <vector>
 
+#include "core/env.hpp"
 #include "core/parallel.hpp"
 #include "exact/int_system.hpp"
 #include "obs/metrics.hpp"
@@ -398,15 +398,13 @@ std::uint64_t modular_prime(std::size_t index) {
 // --------------------------------------------------------------- strategy
 
 ExactSolverStrategy exact_solver_strategy() {
-  const char* v = std::getenv("SPIV_EXACT_SOLVER");
-  if (!v || !*v) return ExactSolverStrategy::Auto;
-  if (!std::strcmp(v, "bareiss")) return ExactSolverStrategy::Bareiss;
-  if (!std::strcmp(v, "modular")) return ExactSolverStrategy::Modular;
-  if (!std::strcmp(v, "auto")) return ExactSolverStrategy::Auto;
-  static std::atomic<bool> warned{false};
-  if (!warned.exchange(true))
-    std::cerr << "spiv: ignoring invalid SPIV_EXACT_SOLVER='" << v
-              << "' (expected bareiss|modular|auto); using auto\n";
+  // Parsing and the warn-once diagnostic live in core::env, next to every
+  // other SPIV_* variable; this is just the enum translation.
+  switch (core::env::exact_solver()) {
+    case core::env::ExactSolver::Bareiss: return ExactSolverStrategy::Bareiss;
+    case core::env::ExactSolver::Modular: return ExactSolverStrategy::Modular;
+    case core::env::ExactSolver::Auto: break;
+  }
   return ExactSolverStrategy::Auto;
 }
 

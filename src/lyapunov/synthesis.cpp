@@ -45,7 +45,8 @@ std::optional<Candidate> synthesize_eq_smt(const Matrix& a,
   const exact::RatMatrix a_exact = exact::rat_matrix_from_doubles(
       a.data().data(), a.rows(), a.cols(), /*digits=*/0);
   auto p_exact = exact::solve_lyapunov_exact(
-      a_exact, exact::RatMatrix::identity(a.rows()), options.deadline);
+      a_exact, exact::RatMatrix::identity(a.rows()), options.deadline,
+      options.exact_solver);
   if (!p_exact) return std::nullopt;
   Candidate c;
   c.method = Method::EqSmt;
@@ -101,8 +102,8 @@ std::optional<Candidate> synthesize_lmi(const Matrix& a, Method method,
 
 std::optional<Candidate> synthesize(const Matrix& a, Method method,
                                     const SynthesisOptions& options) {
-  if (!a.is_square())
-    throw std::invalid_argument("synthesize: A must be square");
+  if (!a.is_square() || a.rows() == 0)
+    throw std::invalid_argument("synthesize: A must be square and non-empty");
   // Stage span (records even when the method throws TimeoutError) plus a
   // per-method latency histogram for the successful syntheses.
   obs::Span span{"synthesis", to_string(method)};

@@ -5,9 +5,9 @@
 
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
 #include <sstream>
 
+#include "core/env.hpp"
 #include "obs/metrics.hpp"
 
 namespace spiv::obs {
@@ -19,9 +19,9 @@ namespace {
 /// static destructors.
 int trace_fd() noexcept {
   static const int fd = [] {
-    const char* path = std::getenv("SPIV_TRACE");
-    if (!path || !*path) return -1;
-    return ::open(path, O_WRONLY | O_CREAT | O_APPEND, 0644);
+    const std::string path = core::env::trace_path();
+    if (path.empty()) return -1;
+    return ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   }();
   return fd;
 }

@@ -15,6 +15,7 @@
 #include "model/switched_pi.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "verify/verify.hpp"
 
 namespace spiv::service {
 
@@ -63,13 +64,13 @@ std::string request_fields(const VerifyRequest& req, const std::string& key,
   return os.str();
 }
 
-/// How a verify request ended.  `serve` counts failures on this enum — the
-/// formatted line is user-influenced (msg text, case-file paths) and must
-/// never drive accounting.
-enum class Status { Valid, Invalid, Timeout, SynthFailed, Error };
+/// The service reuses the pipeline's canonical taxonomy; `serve` counts
+/// failures on this enum — the formatted line is user-influenced (msg text,
+/// case-file paths) and must never drive accounting.
+using Status = verify::Status;
 
 /// One response: the machine-readable outcome plus the protocol line.
-struct VerifyOutcome {
+struct ServiceOutcome {
   Status status = Status::Error;
   std::string line;
 };
@@ -85,7 +86,7 @@ std::string sanitize_message(const std::string& msg) {
   return out;
 }
 
-VerifyOutcome error_outcome(const VerifyRequest& req, const std::string& msg) {
+ServiceOutcome error_outcome(const VerifyRequest& req, const std::string& msg) {
   return {Status::Error, result_prefix(req) + " status=error cache=off" +
                              request_fields(req, "", "") + " msg=" +
                              sanitize_message(msg)};
@@ -97,10 +98,11 @@ std::string seconds_field(const char* name, double s) {
   return os.str();
 }
 
-/// The whole per-request pipeline: load case, close the loop, consult the
-/// store, compute on miss, insert, format one result line.
-VerifyOutcome handle_verify(const VerifyRequest& req, store::CertStore* store,
-                            const CancelToken& token) {
+/// The per-request adapter: load the case, close the loop, hand the matrix
+/// to the verify pipeline (which owns deadlines, cache keys, store access,
+/// and outcome classification), and render one protocol line.
+ServiceOutcome handle_verify(const VerifyRequest& req, store::CertStore* store,
+                             const CancelToken& token) {
   model::BenchmarkModel bm;
   {
     obs::Span span{"case-load", req.case_file};
@@ -120,87 +122,39 @@ VerifyOutcome handle_verify(const VerifyRequest& req, store::CertStore* store,
     return error_outcome(req, os.str());
   }
 
-  // The synthesis options used on a miss, built up front so the cache key
-  // covers the exact alpha/nu/kappa the kernel would run with — a hit must
-  // never replay a certificate synthesized under different parameters.
-  lyap::SynthesisOptions options;
-  if (req.backend) options.backend = *req.backend;
-
-  store::CertRequest cert_req;
+  verify::VerifyRequest vreq;
   {
     obs::Span span{"close-loop", bm.name};
-    cert_req.a =
+    vreq.a =
         model::close_loop_single_mode(bm.plant, bm.controller.gains[req.mode])
             .a;
   }
-  cert_req.method = req.method;
-  cert_req.backend = req.backend;
-  cert_req.engine = req.engine;
-  cert_req.digits = req.digits;
-  cert_req.set_synthesis_params(options);
-  const std::string key = store::request_key(cert_req);
+  vreq.method = req.method;
+  vreq.backend = req.backend;
+  vreq.engine = req.engine;
+  vreq.digits = req.digits;
+  // Service semantics: one budget shared by both stages — synthesis
+  // consumes from the front and validation gets only the remainder, so a
+  // request can never burn more than its declared timeout.
+  vreq.budget = verify::SharedBudget{req.timeout_seconds};
 
-  if (store) {
-    obs::Span span{"store-lookup", key};
-    if (auto rec = store->lookup(key)) {
-      const bool valid = rec->validation.valid();
-      return {valid ? Status::Valid : Status::Invalid,
-              result_prefix(req) + " status=" +
-                  (valid ? "valid" : "invalid") + " cache=hit" +
-                  request_fields(req, key, bm.name) +
-                  seconds_field("synth_seconds",
-                                rec->candidate.synth_seconds) +
-                  seconds_field("validate_seconds", rec->validation.seconds())};
-    }
-  }
+  verify::VerifyContext ctx;
+  ctx.store = store;
+  ctx.token = &token;
+  const verify::VerifyOutcome outcome = verify::run_verify(ctx, vreq);
 
-  // Miss: run the full synthesize-then-validate pipeline under ONE deadline
-  // — synthesis consumes from the front of the budget and validation gets
-  // only the remainder.  (Minting a second Deadline here used to let one
-  // request burn 2x its declared timeout.)
-  const Deadline deadline = Deadline::after_seconds(req.timeout_seconds, token);
-  options.deadline = deadline;
-  std::optional<lyap::Candidate> candidate;
-  try {
-    candidate = lyap::synthesize(cert_req.a, req.method, options);
-  } catch (const TimeoutError&) {
-    return {Status::Timeout, result_prefix(req) + " status=timeout cache=miss" +
-                                 request_fields(req, key, bm.name)};
-  } catch (const std::exception& e) {
-    return error_outcome(req, std::string{"synthesis failed: "} + e.what());
-  }
-  if (!candidate)
-    return {Status::SynthFailed,
-            result_prefix(req) + " status=synth-failed cache=miss" +
-                request_fields(req, key, bm.name)};
-
-  smt::CheckOptions check;
-  check.deadline = deadline;
-  smt::LyapunovValidation validation;
-  try {
-    validation = smt::validate_lyapunov(cert_req.a, candidate->p, req.engine,
-                                        req.digits, check);
-  } catch (const std::exception& e) {
-    return error_outcome(req, std::string{"validation failed: "} + e.what());
-  }
-  const bool timed_out =
-      validation.positivity.outcome == smt::Outcome::Timeout ||
-      validation.decrease.outcome == smt::Outcome::Timeout;
-  if (store && !timed_out) {
-    obs::Span span{"store-insert", key};
-    store->insert(key, store::CertRecord{*candidate, validation});
-  }
-  const Status status = timed_out
-                            ? Status::Timeout
-                            : (validation.valid() ? Status::Valid
-                                                  : Status::Invalid);
-  const char* status_text =
-      timed_out ? "timeout" : (validation.valid() ? "valid" : "invalid");
-  return {status,
-          result_prefix(req) + " status=" + status_text + " cache=" +
-              (store ? "miss" : "off") + request_fields(req, key, bm.name) +
-              seconds_field("synth_seconds", candidate->synth_seconds) +
-              seconds_field("validate_seconds", validation.seconds())};
+  if (outcome.status == Status::Error)
+    return error_outcome(req, outcome.message);
+  std::string line = result_prefix(req) + " status=" +
+                     verify::to_string(outcome.status) + " cache=" +
+                     verify::to_string(outcome.cache) +
+                     request_fields(req, outcome.key, bm.name);
+  // Timing fields exist exactly when a candidate does: synthesis timeouts
+  // and failures have nothing to report.
+  if (outcome.synthesized())
+    line += seconds_field("synth_seconds", outcome.synth_seconds) +
+            seconds_field("validate_seconds", outcome.validate_seconds);
+  return {outcome.status, std::move(line)};
 }
 
 /// Parse one `verify` line (after the command token).  Returns an error
@@ -309,7 +263,7 @@ int serve(std::istream& in, std::ostream& out, const ServeOptions& options) {
     requests_total.add();
     store::CertStore* store = options.store;
     pool.submit([req, store, &pool, &writer, &errors, &errors_total] {
-      const VerifyOutcome outcome = handle_verify(req, store, pool.token());
+      const ServiceOutcome outcome = handle_verify(req, store, pool.token());
       if (outcome.status == Status::Error) {
         errors.fetch_add(1, std::memory_order_relaxed);
         errors_total.add();

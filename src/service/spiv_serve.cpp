@@ -4,22 +4,24 @@
 //
 // Speaks the line protocol documented in service/service.hpp; see
 // EXPERIMENTS.md ("Certificate cache & service") for a worked example.
-// The certificate store is enabled by $SPIV_CACHE_DIR; without it every
-// request recomputes.
+// The certificate store is enabled by --cache-dir DIR (or $SPIV_CACHE_DIR);
+// without either, every request recomputes.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <optional>
+#include <string>
 
 #include "core/parallel.hpp"
 #include "service/service.hpp"
+#include "verify/verify.hpp"
 
 namespace {
 
 void print_usage(std::FILE* to, const char* prog) {
   std::fprintf(to,
-               "usage: %s [--jobs N] [--timeout SECONDS]\n"
+               "usage: %s [--jobs N] [--timeout SECONDS] [--cache-dir DIR]\n"
                "protocol: verify <case-file> <mode> <method> <backend|-> "
                "<engine> <digits> [timeout_s] | wait | stats | metrics | "
                "quit\n",
@@ -31,6 +33,7 @@ void print_usage(std::FILE* to, const char* prog) {
 int main(int argc, char** argv) {
   using namespace spiv;
   service::ServeOptions options;
+  std::string cache_dir;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       print_usage(stdout, argv[0]);
@@ -65,13 +68,25 @@ int main(int argc, char** argv) {
                      argv[i]);
         return 2;
       }
+    } else if (!std::strcmp(argv[i], "--cache-dir")) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--cache-dir requires a value\n");
+        print_usage(stderr, argv[0]);
+        return 2;
+      }
+      cache_dir = argv[++i];
+      if (cache_dir.empty()) {
+        std::fprintf(stderr, "--cache-dir requires a non-empty directory\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
       print_usage(stderr, argv[0]);
       return 2;
     }
   }
-  options.store = store::CertStore::from_env();
+  // Explicit --cache-dir wins over $SPIV_CACHE_DIR (resolve_store).
+  options.store = verify::resolve_store(cache_dir);
   const int errors = service::serve(std::cin, std::cout, options);
   return errors == 0 ? 0 : 1;
 }

@@ -2,12 +2,13 @@
 
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <thread>
+
+#include "core/env.hpp"
 
 namespace spiv::store {
 
@@ -173,8 +174,8 @@ StoreStats CertStore::stats() const {
 
 CertStore* CertStore::from_env() {
   static std::unique_ptr<CertStore> store = [] {
-    const char* dir = std::getenv("SPIV_CACHE_DIR");
-    if (!dir || !*dir) return std::unique_ptr<CertStore>{};
+    const std::string dir = core::env::cache_dir();
+    if (dir.empty()) return std::unique_ptr<CertStore>{};
     try {
       return std::make_unique<CertStore>(dir);
     } catch (const std::exception& e) {
