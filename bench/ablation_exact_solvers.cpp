@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "bench_common.hpp"
+#include "core/parallel.hpp"
 #include "exact/lyapunov_exact.hpp"
 #include "exact/modular.hpp"
 #include "model/reduction.hpp"
@@ -43,7 +44,8 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> sizes =
       bench::env_sizes(bench::env_flag("SPIV_QUICK")
                            ? std::vector<std::size_t>{3, 5}
-                           : std::vector<std::size_t>{3, 5, 10});
+                           : std::vector<std::size_t>{3, 5, 10, 15, 18});
+  const std::size_t jobs = core::resolve_jobs();
   const auto wanted = [&sizes](std::size_t s) {
     for (std::size_t w : sizes)
       if (w == s) return true;
@@ -99,9 +101,9 @@ int main(int argc, char** argv) {
   // ---- (b) Bareiss vs multi-modular on the vech system -------------------
   std::printf("\nABLATION — exact linear solve backend on the vech system "
               "(budget %.0fs per cell)\n", budget);
-  std::printf("%-8s %6s %6s %14s %14s %10s %8s %8s\n", "model", "dim",
+  std::printf("%-8s %6s %6s %14s %14s %10s %8s %8s  %s\n", "model", "dim",
               "vech-N", "bareiss (s)", "modular (s)", "speedup", "primes",
-              "same");
+              "same", "elim/crt/rec/ver (s)");
   std::ostringstream rows;
   bool first = true;
   for (const auto& bm : model::make_benchmark_family()) {
@@ -130,6 +132,7 @@ int main(int argc, char** argv) {
     exact::ModularStats stats;
     {
       exact::ModularOptions options;
+      options.jobs = jobs;
       options.stats = &stats;
       auto t0 = Clock::now();
       try {
@@ -139,16 +142,43 @@ int main(int argc, char** argv) {
       } catch (const TimeoutError&) {
       }
     }
+    // Parallel-phase speedup: rerun single-threaded and compare the CRT +
+    // reconstruction stage (the part the batched product-tree fold spreads
+    // over core::for_each_block).  Skipped when only one worker is
+    // available — a 1-core box would just double the runtime to report 1.0.
+    double speedup_crt_rec = -1.0;
+    if (jobs > 1 && t_modular > 0) {
+      exact::ModularStats stats1;
+      exact::ModularOptions options1;
+      options1.jobs = 1;
+      options1.stats = &stats1;
+      try {
+        auto x1 = exact::solve_rational_modular(
+            op, rhs, Deadline::after_seconds(budget), options1);
+        const double par = stats.crt_seconds + stats.reconstruct_seconds;
+        if (x1 && par > 0)
+          speedup_crt_rec =
+              (stats1.crt_seconds + stats1.reconstruct_seconds) / par;
+        if (x1 && !(*x1 == *x_modular))
+          std::printf("WARNING: jobs=1 and jobs=%zu results differ at %s\n",
+                      jobs, bm.name.c_str());
+      } catch (const TimeoutError&) {
+      }
+    }
     const bool both = x_bareiss.has_value() && x_modular.has_value();
     const bool identical = both && *x_bareiss == *x_modular;
     char ratio[32] = "-";
     if (t_bareiss > 0 && t_modular > 0)
       std::snprintf(ratio, sizeof ratio, "%.1fx", t_bareiss / t_modular);
-    char b1[32], b2[32];
-    std::printf("%-8s %6zu %6zu %14s %14s %10s %8llu %8s\n", bm.name.c_str(),
-                d, op.rows(), cell(t_bareiss, b1), cell(t_modular, b2), ratio,
+    char b1[32], b2[32], phases[64];
+    std::snprintf(phases, sizeof phases, "%.2f/%.2f/%.2f/%.2f",
+                  stats.elim_seconds, stats.crt_seconds,
+                  stats.reconstruct_seconds, stats.verify_seconds);
+    std::printf("%-8s %6zu %6zu %14s %14s %10s %8llu %8s  %s\n",
+                bm.name.c_str(), d, op.rows(), cell(t_bareiss, b1),
+                cell(t_modular, b2), ratio,
                 static_cast<unsigned long long>(stats.primes_used),
-                both ? (identical ? "yes" : "NO") : "-");
+                both ? (identical ? "yes" : "NO") : "-", phases);
 
     rows << (first ? "\n" : ",\n") << "    {\"model\": \"" << bm.name
          << "\", \"size\": " << bm.size << ", \"dim\": " << d
@@ -158,6 +188,13 @@ int main(int argc, char** argv) {
          << ", \"primes_used\": " << stats.primes_used
          << ", \"unlucky_primes\": " << stats.unlucky_primes
          << ", \"early_exit\": " << (stats.early_exit ? "true" : "false")
+         << ", \"jobs\": " << jobs
+         << ", \"elim_seconds\": " << stats.elim_seconds
+         << ", \"crt_seconds\": " << stats.crt_seconds
+         << ", \"reconstruct_seconds\": " << stats.reconstruct_seconds
+         << ", \"verify_seconds\": " << stats.verify_seconds
+         << ", \"crt_reconstruct_speedup\": "
+         << (speedup_crt_rec < 0 ? -1.0 : speedup_crt_rec)
          << ", \"identical\": " << (identical ? "true" : "false") << "}";
     first = false;
   }

@@ -50,6 +50,76 @@ void BM_BigIntGcd(benchmark::State& state) {
 }
 BENCHMARK(BM_BigIntGcd)->Arg(1)->Arg(4)->Arg(16);
 
+void BM_BigIntSmallVecAddMul(benchmark::State& state) {
+  // The small-operand fast paths of the pooled-limb BigInt: Arg(1) stays on
+  // the u64/__int128 word paths, Arg(4) fills the four inline limbs without
+  // touching the heap pool.  This is the shape of CRT delta arithmetic.
+  const auto limbs = static_cast<unsigned>(state.range(0));
+  const exact::BigInt a = exact::BigInt{"123456789"}.pow(limbs);
+  const exact::BigInt b = exact::BigInt{"987654321"}.pow(limbs);
+  for (auto _ : state) {
+    exact::BigInt s = a * b;
+    s += a;
+    s -= b;
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_BigIntSmallVecAddMul)->Arg(1)->Arg(4);
+
+void BM_CrtFold(benchmark::State& state) {
+  // One product-tree batch fold of range(0) fresh primes into the 171
+  // solution entries of the paper's size-15 vech system (m starts at 1:
+  // the first, cheapest batch — later batches add the m-delta multiply).
+  const std::size_t entries = 171;
+  const auto primes_n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> primes(primes_n);
+  std::vector<std::vector<std::uint64_t>> res(primes_n);
+  std::vector<const std::uint64_t*> ptrs(primes_n);
+  for (std::size_t i = 0; i < primes_n; ++i) {
+    primes[i] = exact::modular_prime(i);
+    res[i].resize(entries);
+    for (std::size_t e = 0; e < entries; ++e)
+      res[i][e] = (0x9e3779b97f4a7c15ull * (i * entries + e + 1)) % primes[i];
+    ptrs[i] = res[i].data();
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<exact::BigInt> xs(entries);
+    exact::BigInt m{1};
+    state.ResumeTiming();
+    exact::detail::crt_fold_batch(xs, m, ptrs, primes, 1);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_CrtFold)->Arg(8)->Arg(32);
+
+void BM_RationalReconstruct(benchmark::State& state) {
+  // Euclid pullback of one entry whose CRT image spans range(0) primes —
+  // the per-entry cost the output-sensitive cache exists to avoid.
+  const auto primes_n = static_cast<std::size_t>(state.range(0));
+  const exact::BigInt num{"123456789123456789"};
+  const exact::BigInt den{"987654321987"};
+  std::vector<std::uint64_t> primes(primes_n);
+  std::vector<std::uint64_t> res(primes_n);
+  std::vector<const std::uint64_t*> ptrs(primes_n);
+  for (std::size_t i = 0; i < primes_n; ++i) {
+    primes[i] = exact::modular_prime(i);
+    const exact::Montgomery62 mont{primes[i]};
+    res[i] = mont.from_mont(
+        mont.mul(mont.to_mont(num.mod_u64(primes[i])),
+                 mont.inv(mont.to_mont(den.mod_u64(primes[i])))));
+    ptrs[i] = &res[i];
+  }
+  std::vector<exact::BigInt> xs(1);
+  exact::BigInt m{1};
+  exact::detail::crt_fold_batch(xs, m, ptrs, primes, 1);
+  const exact::BigInt bound =
+      exact::isqrt((m - exact::BigInt{1}) / exact::BigInt{2});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(exact::rational_reconstruct(xs[0], m, bound));
+}
+BENCHMARK(BM_RationalReconstruct)->Arg(8)->Arg(64)->Arg(256);
+
 void BM_MontgomeryMulInv(benchmark::State& state) {
   // The inner product of the per-prime elimination kernel: one Montgomery
   // multiply per matrix entry per pivot, plus the occasional inverse.

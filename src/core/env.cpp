@@ -12,6 +12,7 @@ namespace {
 
 std::atomic<bool> g_warned_jobs{false};
 std::atomic<bool> g_warned_exact_solver{false};
+std::atomic<bool> g_warned_modular_checkpoint{false};
 
 /// One stderr line per process per variable: the harnesses resolve their
 /// configuration once per driver, and a misconfigured shell should not
@@ -68,9 +69,21 @@ ExactSolver exact_solver() {
   return ExactSolver::Auto;
 }
 
+std::optional<std::size_t> modular_checkpoint() {
+  const char* v = raw("SPIV_MODULAR_CHECKPOINT");
+  if (!v || !*v) return std::nullopt;
+  if (const std::optional<std::size_t> parsed = parse_positive(v))
+    return parsed;
+  warn_once(g_warned_modular_checkpoint,
+            "ignoring invalid SPIV_MODULAR_CHECKPOINT='" + std::string{v} +
+                "' (must be a positive integer)");
+  return std::nullopt;
+}
+
 void rearm_warnings_for_testing() {
   g_warned_jobs.store(false);
   g_warned_exact_solver.store(false);
+  g_warned_modular_checkpoint.store(false);
 }
 
 }  // namespace spiv::core::env

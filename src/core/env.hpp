@@ -51,6 +51,12 @@ enum class ExactSolver { Auto, Bareiss, Modular };
 /// as Auto; anything else warns once per process and reads as Auto.
 [[nodiscard]] ExactSolver exact_solver();
 
+/// $SPIV_MODULAR_CHECKPOINT — first trial-reconstruction checkpoint of the
+/// multi-modular solver, in lucky primes folded (the schedule doubles from
+/// there).  Returns nullopt when unset; a malformed value warns once per
+/// process and reads as nullopt.  Purely a performance knob.
+[[nodiscard]] std::optional<std::size_t> modular_checkpoint();
+
 /// Testing hook: rearm the warn-once flags so diagnostics tests can observe
 /// each warning deterministically.  Not for production code.
 void rearm_warnings_for_testing();

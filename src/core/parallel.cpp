@@ -169,4 +169,19 @@ void for_each_job(
   pool.wait_idle();
 }
 
+void for_each_block(
+    std::size_t n, std::size_t jobs,
+    const std::function<void(std::size_t, std::size_t, const CancelToken&)>&
+        body) {
+  if (n == 0) return;
+  jobs = resolve_jobs(jobs);
+  const std::size_t chunk = (n + std::min(jobs, n) - 1) / std::min(jobs, n);
+  const std::size_t blocks = (n + chunk - 1) / chunk;  // no empty tail block
+  for_each_job(blocks, jobs,
+               [&body, n, chunk](std::size_t b, const CancelToken& token) {
+                 const std::size_t begin = b * chunk;
+                 body(begin, std::min(n, begin + chunk), token);
+               });
+}
+
 }  // namespace spiv::core

@@ -102,4 +102,17 @@ class JobPool {
 void for_each_job(std::size_t n, std::size_t jobs,
                   const std::function<void(std::size_t, const CancelToken&)>& body);
 
+/// Run body(begin, end, token) over a partition of [0, n) into at most
+/// `jobs` contiguous near-equal blocks (block-cyclic would interleave
+/// writes; contiguous blocks keep each worker on its own cache lines).
+/// Used where per-item work is small and uniform — e.g. the per-entry CRT
+/// folds of the multi-modular solver — so one pool job per item would
+/// drown in submission overhead.  Same contract as for_each_job: jobs <= 1
+/// runs inline serially, bodies must not throw, each block writes only its
+/// own slots.
+void for_each_block(
+    std::size_t n, std::size_t jobs,
+    const std::function<void(std::size_t, std::size_t, const CancelToken&)>&
+        body);
+
 }  // namespace spiv::core

@@ -9,6 +9,94 @@
 
 namespace spiv::exact {
 
+namespace detail {
+namespace {
+
+// Thread-local free list of heap limb blocks.  Every heap capacity LimbVec
+// ever uses is a power of two in [2^kMinShift, 2^kMaxShift]; each class
+// keeps up to kBinCap retired blocks for reuse.  Blocks outside the binned
+// range (or overflowing a bin) go straight to new[]/delete[].
+struct Pool {
+  static constexpr unsigned kMinShift = 3;   // 8 limbs  (32 bytes)
+  static constexpr unsigned kMaxShift = 12;  // 4096 limbs (16 KiB)
+  static constexpr std::size_t kBinCap = 8;
+  struct Bin {
+    std::uint32_t* blocks[kBinCap];
+    std::size_t count = 0;
+  };
+  Bin bins[kMaxShift - kMinShift + 1];
+  ~Pool() {
+    for (Bin& bin : bins)
+      while (bin.count > 0) delete[] bin.blocks[--bin.count];
+  }
+};
+
+// The pool is reached through a trivially-destructible thread_local slot so
+// BigInt temporaries destroyed *after* the pool (static-destruction order,
+// late thread-exit destructors) see a null slot and fall back to delete[]
+// instead of touching a dead Pool.  `dead` distinguishes "not yet built"
+// from "already torn down" so we never reconstruct past thread exit.
+struct PoolSlot {
+  Pool* pool;
+  bool dead;
+};
+thread_local constinit PoolSlot g_pool_slot{nullptr, false};
+
+struct PoolOwner {
+  Pool pool;
+  PoolOwner() { g_pool_slot.pool = &pool; }
+  ~PoolOwner() { g_pool_slot = {nullptr, true}; }
+};
+
+// `cap` must be a power of two.
+std::uint32_t* pool_acquire(std::size_t cap) {
+  const unsigned shift = static_cast<unsigned>(std::countr_zero(cap));
+  if (shift >= Pool::kMinShift && shift <= Pool::kMaxShift) {
+    if (g_pool_slot.pool == nullptr && !g_pool_slot.dead) {
+      thread_local PoolOwner owner;
+      (void)owner;
+    }
+    if (Pool* p = g_pool_slot.pool) {
+      Pool::Bin& bin = p->bins[shift - Pool::kMinShift];
+      if (bin.count > 0) return bin.blocks[--bin.count];
+    }
+  }
+  return new std::uint32_t[cap];
+}
+
+void pool_release(std::uint32_t* block, std::size_t cap) noexcept {
+  const unsigned shift = static_cast<unsigned>(std::countr_zero(cap));
+  if (shift >= Pool::kMinShift && shift <= Pool::kMaxShift) {
+    if (Pool* p = g_pool_slot.pool) {
+      Pool::Bin& bin = p->bins[shift - Pool::kMinShift];
+      if (bin.count < Pool::kBinCap) {
+        bin.blocks[bin.count++] = block;
+        return;
+      }
+    }
+  }
+  delete[] block;
+}
+
+}  // namespace
+
+void LimbVec::grow(std::size_t mincap) {
+  const std::size_t newcap =
+      std::bit_ceil(std::max<std::size_t>(mincap, std::size_t{1}
+                                                      << Pool::kMinShift));
+  value_type* fresh = pool_acquire(newcap);
+  std::memcpy(fresh, data(), size_ * sizeof(value_type));
+  if (on_heap()) pool_release(heap_, cap_);
+  heap_ = fresh;
+  cap_ = static_cast<std::uint32_t>(newcap);
+}
+
+void LimbVec::release() noexcept {
+  if (on_heap()) pool_release(heap_, cap_);
+}
+
+}  // namespace detail
+
 namespace {
 // Limb count at which mul_magnitude switches from schoolbook to Karatsuba.
 // Tuned 2026-08 on an x86-64 core (gcc -O2) by timing balanced random
@@ -63,6 +151,15 @@ void BigInt::trim() {
   if (limbs_.empty()) negative_ = false;
 }
 
+void BigInt::set_mag_u128(unsigned __int128 mag, bool negative) {
+  limbs_.clear();
+  while (mag != 0) {
+    limbs_.push_back(static_cast<Limb>(mag & 0xffffffffu));
+    mag >>= kLimbBits;
+  }
+  negative_ = negative && !limbs_.empty();
+}
+
 std::size_t BigInt::bit_length() const {
   if (limbs_.empty()) return 0;
   std::size_t bits = (limbs_.size() - 1) * kLimbBits;
@@ -86,8 +183,7 @@ BigInt BigInt::negated() const {
   return r;
 }
 
-int BigInt::compare_magnitude(const std::vector<Limb>& a,
-                              const std::vector<Limb>& b) {
+int BigInt::compare_magnitude(const Limbs& a, const Limbs& b) {
   if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
   for (std::size_t i = a.size(); i-- > 0;) {
     if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
@@ -95,11 +191,10 @@ int BigInt::compare_magnitude(const std::vector<Limb>& a,
   return 0;
 }
 
-std::vector<BigInt::Limb> BigInt::add_magnitude(const std::vector<Limb>& a,
-                                                const std::vector<Limb>& b) {
+BigInt::Limbs BigInt::add_magnitude(const Limbs& a, const Limbs& b) {
   const auto& longer = a.size() >= b.size() ? a : b;
   const auto& shorter = a.size() >= b.size() ? b : a;
-  std::vector<Limb> out;
+  Limbs out;
   out.reserve(longer.size() + 1);
   DoubleLimb carry = 0;
   for (std::size_t i = 0; i < longer.size(); ++i) {
@@ -112,9 +207,8 @@ std::vector<BigInt::Limb> BigInt::add_magnitude(const std::vector<Limb>& a,
   return out;
 }
 
-std::vector<BigInt::Limb> BigInt::sub_magnitude(const std::vector<Limb>& a,
-                                                const std::vector<Limb>& b) {
-  std::vector<Limb> out;
+BigInt::Limbs BigInt::sub_magnitude(const Limbs& a, const Limbs& b) {
+  Limbs out;
   out.reserve(a.size());
   std::int64_t borrow = 0;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -132,12 +226,11 @@ std::vector<BigInt::Limb> BigInt::sub_magnitude(const std::vector<Limb>& a,
   return out;
 }
 
-std::vector<BigInt::Limb> BigInt::mul_schoolbook(const std::vector<Limb>& a,
-                                                 const std::vector<Limb>& b) {
+BigInt::Limbs BigInt::mul_schoolbook(const Limbs& a, const Limbs& b) {
   if (a.empty() || b.empty()) return {};
   // Exact-size construction: a.size()+b.size() limbs always suffices, so
   // this single allocation is the only one the whole routine performs.
-  std::vector<Limb> out(a.size() + b.size(), 0);
+  Limbs out(a.size() + b.size(), 0);
   for (std::size_t i = 0; i < a.size(); ++i) {
     DoubleLimb carry = 0;
     DoubleLimb ai = a[i];
@@ -159,35 +252,30 @@ std::vector<BigInt::Limb> BigInt::mul_schoolbook(const std::vector<Limb>& a,
   return out;
 }
 
-std::vector<BigInt::Limb> BigInt::mul_karatsuba(const std::vector<Limb>& a,
-                                                const std::vector<Limb>& b) {
+BigInt::Limbs BigInt::mul_karatsuba(const Limbs& a, const Limbs& b) {
   if (a.size() < kKaratsubaThreshold || b.size() < kKaratsubaThreshold)
     return mul_schoolbook(a, b);
   const std::size_t half = std::max(a.size(), b.size()) / 2;
-  auto split = [half](const std::vector<Limb>& v)
-      -> std::pair<std::vector<Limb>, std::vector<Limb>> {
-    std::vector<Limb> lo(v.begin(),
-                         v.begin() + static_cast<std::ptrdiff_t>(
-                                         std::min(half, v.size())));
-    std::vector<Limb> hi;
-    if (v.size() > half)
-      hi.assign(v.begin() + static_cast<std::ptrdiff_t>(half), v.end());
+  auto split = [half](const Limbs& v) -> std::pair<Limbs, Limbs> {
+    Limbs lo(v.begin(), v.begin() + std::min(half, v.size()));
+    Limbs hi;
+    if (v.size() > half) hi.assign(v.begin() + half, v.end());
     while (!lo.empty() && lo.back() == 0) lo.pop_back();
     return {std::move(lo), std::move(hi)};
   };
   auto [a0, a1] = split(a);
   auto [b0, b1] = split(b);
-  std::vector<Limb> z0 = mul_karatsuba(a0, b0);
-  std::vector<Limb> z2 = mul_karatsuba(a1, b1);
-  std::vector<Limb> sa = add_magnitude(a0, a1);
-  std::vector<Limb> sb = add_magnitude(b0, b1);
-  std::vector<Limb> z1 = mul_karatsuba(sa, sb);
+  Limbs z0 = mul_karatsuba(a0, b0);
+  Limbs z2 = mul_karatsuba(a1, b1);
+  Limbs sa = add_magnitude(a0, a1);
+  Limbs sb = add_magnitude(b0, b1);
+  Limbs z1 = mul_karatsuba(sa, sb);
   z1 = sub_magnitude(z1, z0);
   z1 = sub_magnitude(z1, z2);
   // result = z0 + z1 << (32*half) + z2 << (64*half)
-  std::vector<Limb> out(std::max({z0.size(), z1.size() + half, z2.size() + 2 * half}) + 1,
-                        0);
-  auto add_at = [&out](const std::vector<Limb>& v, std::size_t off) {
+  Limbs out(std::max({z0.size(), z1.size() + half, z2.size() + 2 * half}) + 1,
+            0);
+  auto add_at = [&out](const Limbs& v, std::size_t off) {
     DoubleLimb carry = 0;
     std::size_t i = 0;
     for (; i < v.size(); ++i) {
@@ -209,15 +297,25 @@ std::vector<BigInt::Limb> BigInt::mul_karatsuba(const std::vector<Limb>& a,
   return out;
 }
 
-std::vector<BigInt::Limb> BigInt::mul_magnitude(const std::vector<Limb>& a,
-                                                const std::vector<Limb>& b) {
+BigInt::Limbs BigInt::mul_magnitude(const Limbs& a, const Limbs& b) {
   if (a.size() >= kKaratsubaThreshold && b.size() >= kKaratsubaThreshold)
     return mul_karatsuba(a, b);
   return mul_schoolbook(a, b);
 }
 
-BigInt& BigInt::operator+=(const BigInt& rhs) {
-  if (negative_ == rhs.negative_) {
+BigInt& BigInt::add_signed(const BigInt& rhs, bool rhs_negative) {
+  if (limbs_.size() <= 2 && rhs.limbs_.size() <= 2) {
+    __int128 a = static_cast<__int128>(mag_u64());
+    if (negative_) a = -a;
+    __int128 b = static_cast<__int128>(rhs.mag_u64());
+    if (rhs_negative) b = -b;
+    const __int128 s = a + b;
+    set_mag_u128(s < 0 ? static_cast<unsigned __int128>(-s)
+                       : static_cast<unsigned __int128>(s),
+                 s < 0);
+    return *this;
+  }
+  if (negative_ == rhs_negative) {
     limbs_ = add_magnitude(limbs_, rhs.limbs_);
   } else {
     int cmp = compare_magnitude(limbs_, rhs.limbs_);
@@ -228,30 +326,41 @@ BigInt& BigInt::operator+=(const BigInt& rhs) {
       limbs_ = sub_magnitude(limbs_, rhs.limbs_);
     } else {
       limbs_ = sub_magnitude(rhs.limbs_, limbs_);
-      negative_ = rhs.negative_;
+      negative_ = rhs_negative;
     }
   }
   trim();
   return *this;
 }
 
-BigInt& BigInt::operator-=(const BigInt& rhs) { return *this += rhs.negated(); }
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  return add_signed(rhs, rhs.negative_);
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) {
+  return add_signed(rhs, !rhs.negative_);
+}
 
 BigInt& BigInt::operator*=(const BigInt& rhs) {
+  if (limbs_.size() <= 2 && rhs.limbs_.size() <= 2) {
+    const unsigned __int128 p =
+        static_cast<unsigned __int128>(mag_u64()) * rhs.mag_u64();
+    set_mag_u128(p, negative_ != rhs.negative_);
+    return *this;
+  }
   negative_ = negative_ != rhs.negative_;
   limbs_ = mul_magnitude(limbs_, rhs.limbs_);
   trim();
   return *this;
 }
 
-std::pair<std::vector<BigInt::Limb>, std::vector<BigInt::Limb>>
-BigInt::divmod_magnitude(const std::vector<Limb>& num,
-                         const std::vector<Limb>& den) {
+std::pair<BigInt::Limbs, BigInt::Limbs> BigInt::divmod_magnitude(
+    const Limbs& num, const Limbs& den) {
   if (den.empty()) throw std::domain_error("BigInt: division by zero");
   if (compare_magnitude(num, den) < 0) return {{}, num};
   if (den.size() == 1) {
     // Fast path: single-limb divisor.
-    std::vector<Limb> quot(num.size(), 0);
+    Limbs quot(num.size(), 0);
     DoubleLimb rem = 0;
     DoubleLimb d = den[0];
     for (std::size_t i = num.size(); i-- > 0;) {
@@ -260,7 +369,7 @@ BigInt::divmod_magnitude(const std::vector<Limb>& num,
       rem = cur % d;
     }
     while (!quot.empty() && quot.back() == 0) quot.pop_back();
-    std::vector<Limb> r;
+    Limbs r;
     if (rem) r.push_back(static_cast<Limb>(rem));
     return {std::move(quot), std::move(r)};
   }
@@ -271,9 +380,9 @@ BigInt::divmod_magnitude(const std::vector<Limb>& num,
     top <<= 1;
     ++shift;
   }
-  auto shl = [](const std::vector<Limb>& v, unsigned s) {
+  auto shl = [](const Limbs& v, unsigned s) {
     if (s == 0) return v;
-    std::vector<Limb> out(v.size() + 1, 0);
+    Limbs out(v.size() + 1, 0);
     for (std::size_t i = 0; i < v.size(); ++i) {
       out[i] |= v[i] << s;
       out[i + 1] = v[i] >> (32 - s);
@@ -281,12 +390,12 @@ BigInt::divmod_magnitude(const std::vector<Limb>& num,
     while (!out.empty() && out.back() == 0) out.pop_back();
     return out;
   };
-  std::vector<Limb> u = shl(num, shift);
-  std::vector<Limb> v = shl(den, shift);
+  Limbs u = shl(num, shift);
+  Limbs v = shl(den, shift);
   const std::size_t n = v.size();
   const std::size_t m = u.size() - n;
   u.resize(u.size() + 1, 0);  // extra high limb
-  std::vector<Limb> quot(m + 1, 0);
+  Limbs quot(m + 1, 0);
   const DoubleLimb base = DoubleLimb{1} << 32;
   for (std::size_t j = m + 1; j-- > 0;) {
     DoubleLimb numerator = (static_cast<DoubleLimb>(u[j + n]) << 32) | u[j + n - 1];
@@ -334,7 +443,7 @@ BigInt::divmod_magnitude(const std::vector<Limb>& num,
   }
   while (!quot.empty() && quot.back() == 0) quot.pop_back();
   // Remainder = u[0..n) >> shift.
-  std::vector<Limb> rem(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  Limbs rem(u.begin(), u.begin() + n);
   if (shift) {
     for (std::size_t i = 0; i + 1 < rem.size(); ++i)
       rem[i] = (rem[i] >> shift) | (rem[i + 1] << (32 - shift));
@@ -345,6 +454,15 @@ BigInt::divmod_magnitude(const std::vector<Limb>& num,
 }
 
 std::pair<BigInt, BigInt> BigInt::div_mod(const BigInt& num, const BigInt& den) {
+  if (den.limbs_.empty()) throw std::domain_error("BigInt: division by zero");
+  if (num.limbs_.size() <= 2 && den.limbs_.size() <= 2) {
+    const std::uint64_t n = num.mag_u64();
+    const std::uint64_t d = den.mag_u64();
+    BigInt q, r;
+    q.set_mag_u128(n / d, num.negative_ != den.negative_);
+    r.set_mag_u128(n % d, num.negative_);
+    return {std::move(q), std::move(r)};
+  }
   auto [qm, rm] = divmod_magnitude(num.limbs_, den.limbs_);
   BigInt q, r;
   q.limbs_ = std::move(qm);
@@ -398,7 +516,11 @@ BigInt BigInt::gcd(BigInt a, BigInt b) {
   b.negative_ = false;
   if (a.is_zero()) return b;
   if (b.is_zero()) return a;
-  auto trailing_zeros = [](const std::vector<Limb>& v) {
+  if (a.limbs_.size() <= 2 && b.limbs_.size() <= 2) {
+    a.set_mag_u128(gcd_u64(a.mag_u64(), b.mag_u64()), false);
+    return a;
+  }
+  auto trailing_zeros = [](const Limbs& v) {
     std::size_t bits = 0;
     std::size_t i = 0;
     while (v[i] == 0) {
@@ -407,11 +529,10 @@ BigInt BigInt::gcd(BigInt a, BigInt b) {
     }
     return bits + static_cast<std::size_t>(std::countr_zero(v[i]));
   };
-  auto shr_in_place = [](std::vector<Limb>& v, std::size_t bits) {
+  auto shr_in_place = [](Limbs& v, std::size_t bits) {
     const std::size_t limb_shift = bits / kLimbBits;
     const unsigned bit_shift = static_cast<unsigned>(bits % kLimbBits);
-    if (limb_shift)
-      v.erase(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(limb_shift));
+    if (limb_shift) v.erase_prefix(limb_shift);
     if (bit_shift && !v.empty()) {
       for (std::size_t i = 0; i + 1 < v.size(); ++i)
         v[i] = (v[i] >> bit_shift) | (v[i + 1] << (kLimbBits - bit_shift));
@@ -419,8 +540,8 @@ BigInt BigInt::gcd(BigInt a, BigInt b) {
     }
     while (!v.empty() && v.back() == 0) v.pop_back();
   };
-  auto fits_u64 = [](const std::vector<Limb>& v) { return v.size() <= 2; };
-  auto to_u64 = [](const std::vector<Limb>& v) {
+  auto fits_u64 = [](const Limbs& v) { return v.size() <= 2; };
+  auto to_u64 = [](const Limbs& v) {
     std::uint64_t out = v.empty() ? 0 : v[0];
     if (v.size() == 2) out |= static_cast<std::uint64_t>(v[1]) << 32;
     return out;
@@ -449,8 +570,7 @@ BigInt BigInt::gcd(BigInt a, BigInt b) {
   }
   BigInt g;
   if (word_gcd != 0) {
-    g.limbs_.push_back(static_cast<Limb>(word_gcd & 0xffffffffu));
-    if (word_gcd >> 32) g.limbs_.push_back(static_cast<Limb>(word_gcd >> 32));
+    g.set_mag_u128(word_gcd, false);
   } else {
     g.limbs_ = std::move(a.limbs_);
   }
@@ -505,8 +625,7 @@ BigInt BigInt::shifted_right(std::size_t bits) const {
   const unsigned bit_shift = static_cast<unsigned>(bits % kLimbBits);
   BigInt out;
   out.negative_ = negative_;
-  out.limbs_.assign(limbs_.begin() + static_cast<std::ptrdiff_t>(limb_shift),
-                    limbs_.end());
+  out.limbs_.assign(limbs_.begin() + limb_shift, limbs_.end());
   if (bit_shift) {
     for (std::size_t i = 0; i + 1 < out.limbs_.size(); ++i)
       out.limbs_[i] =
@@ -520,7 +639,7 @@ BigInt BigInt::shifted_right(std::size_t bits) const {
 std::string BigInt::to_string() const {
   if (is_zero()) return "0";
   // Repeated division by 1e9 (fits in a limb-sized chunk).
-  std::vector<Limb> mag = limbs_;
+  Limbs mag = limbs_;
   std::string digits;
   const DoubleLimb chunk = 1000000000ull;
   while (!mag.empty()) {

@@ -7,16 +7,151 @@
 // of the paper (up to ~22x22 rational matrices, vech systems of a few
 // hundred unknowns); multiplication uses schoolbook with uint64
 // accumulation plus Karatsuba above a threshold.
+//
+// Storage is allocation-light: values below 2^128 live inline in the
+// BigInt itself (detail::LimbVec keeps 4 limbs in-place), and larger
+// magnitudes draw power-of-two heap blocks from a thread-local pool so the
+// CRT folding and integer-verification loops of the multi-modular solver
+// recycle their temporaries instead of hammering the allocator.  Values
+// that fit two limbs additionally take branch-free int128 fast paths
+// through +, -, *, and div_mod.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <compare>
 #include <iosfwd>
 #include <string>
 #include <string_view>
-#include <vector>
+#include <utility>
 
 namespace spiv::exact {
+
+namespace detail {
+
+/// Small-vector limb storage: kInlineLimbs limbs in-place, larger sizes in
+/// pow2-capacity heap blocks recycled through a per-thread free list (see
+/// bigint.cpp).  Only the subset of the std::vector interface BigInt needs.
+class LimbVec {
+ public:
+  using value_type = std::uint32_t;
+  static constexpr std::size_t kInlineLimbs = 4;
+
+  LimbVec() noexcept : size_(0), cap_(kInlineLimbs) {}
+  LimbVec(std::size_t n, value_type fill) : LimbVec() { resize(n, fill); }
+  LimbVec(const value_type* first, const value_type* last) : LimbVec() {
+    assign(first, last);
+  }
+  LimbVec(const LimbVec& other) : LimbVec() {
+    assign(other.data(), other.data() + other.size_);
+  }
+  LimbVec(LimbVec&& other) noexcept : size_(other.size_), cap_(other.cap_) {
+    if (other.on_heap())
+      heap_ = other.heap_;
+    else
+      std::memcpy(inline_, other.inline_, sizeof inline_);
+    other.size_ = 0;
+    other.cap_ = kInlineLimbs;
+  }
+  LimbVec& operator=(const LimbVec& other) {
+    if (this != &other) assign(other.data(), other.data() + other.size_);
+    return *this;
+  }
+  LimbVec& operator=(LimbVec&& other) noexcept {
+    if (this == &other) return *this;
+    release();
+    size_ = other.size_;
+    cap_ = other.cap_;
+    if (other.on_heap())
+      heap_ = other.heap_;
+    else
+      std::memcpy(inline_, other.inline_, sizeof inline_);
+    other.size_ = 0;
+    other.cap_ = kInlineLimbs;
+    return *this;
+  }
+  ~LimbVec() { release(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+  [[nodiscard]] bool on_heap() const noexcept { return cap_ != kInlineLimbs; }
+
+  [[nodiscard]] value_type* data() noexcept {
+    return on_heap() ? heap_ : inline_;
+  }
+  [[nodiscard]] const value_type* data() const noexcept {
+    return on_heap() ? heap_ : inline_;
+  }
+  [[nodiscard]] value_type* begin() noexcept { return data(); }
+  [[nodiscard]] value_type* end() noexcept { return data() + size_; }
+  [[nodiscard]] const value_type* begin() const noexcept { return data(); }
+  [[nodiscard]] const value_type* end() const noexcept {
+    return data() + size_;
+  }
+
+  value_type& operator[](std::size_t i) noexcept { return data()[i]; }
+  value_type operator[](std::size_t i) const noexcept { return data()[i]; }
+  [[nodiscard]] value_type& back() noexcept { return data()[size_ - 1]; }
+  [[nodiscard]] value_type back() const noexcept { return data()[size_ - 1]; }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+  void push_back(value_type v) {
+    if (size_ == cap_) grow(size_ + 1);
+    data()[size_++] = v;
+  }
+  void pop_back() noexcept { --size_; }
+  void clear() noexcept { size_ = 0; }
+  void resize(std::size_t n, value_type fill = 0) {
+    if (n > size_) {
+      reserve(n);
+      value_type* p = data();
+      for (std::size_t i = size_; i < n; ++i) p[i] = fill;
+    }
+    size_ = static_cast<std::uint32_t>(n);
+  }
+  void assign(std::size_t n, value_type fill) {
+    size_ = 0;
+    resize(n, fill);
+  }
+  void assign(const value_type* first, const value_type* last) {
+    const std::size_t n = static_cast<std::size_t>(last - first);
+    reserve(n);
+    std::memmove(data(), first, n * sizeof(value_type));
+    size_ = static_cast<std::uint32_t>(n);
+  }
+  /// Drop the k least-significant limbs (right shift by whole limbs).
+  void erase_prefix(std::size_t k) noexcept {
+    value_type* p = data();
+    std::memmove(p, p + k, (size_ - k) * sizeof(value_type));
+    size_ -= static_cast<std::uint32_t>(k);
+  }
+  void swap(LimbVec& other) noexcept {
+    LimbVec tmp = std::move(*this);
+    *this = std::move(other);
+    other = std::move(tmp);
+  }
+
+  friend bool operator==(const LimbVec& a, const LimbVec& b) noexcept {
+    return a.size_ == b.size_ &&
+           std::memcmp(a.data(), b.data(), a.size_ * sizeof(value_type)) == 0;
+  }
+
+ private:
+  void grow(std::size_t mincap);  // bigint.cpp (pool-backed)
+  void release() noexcept;        // bigint.cpp (returns heap blocks)
+
+  std::uint32_t size_;
+  std::uint32_t cap_;  ///< == kInlineLimbs iff the inline buffer is active
+  union {
+    value_type inline_[kInlineLimbs];
+    value_type* heap_;
+  };
+};
+
+}  // namespace detail
 
 /// Arbitrary-precision signed integer (sign-magnitude, base 2^32).
 ///
@@ -121,29 +256,34 @@ class BigInt {
  private:
   using Limb = std::uint32_t;
   using DoubleLimb = std::uint64_t;
+  using Limbs = detail::LimbVec;
   static constexpr unsigned kLimbBits = 32;
 
-  std::vector<Limb> limbs_;  // little-endian, no trailing zeros
+  Limbs limbs_;  // little-endian, no trailing zeros
   bool negative_ = false;
 
   void trim();
+  /// Magnitude as u64; only valid when limbs_.size() <= 2.
+  [[nodiscard]] std::uint64_t mag_u64() const {
+    std::uint64_t m = limbs_.empty() ? 0 : limbs_[0];
+    if (limbs_.size() == 2) m |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+    return m;
+  }
+  /// Overwrite with a <= 128-bit magnitude (stays in inline storage).
+  void set_mag_u128(unsigned __int128 mag, bool negative);
+  /// *this += (rhs_negative ? -|rhs| : |rhs|); shared by += and -=.
+  BigInt& add_signed(const BigInt& rhs, bool rhs_negative);
   // |a| vs |b|
-  static int compare_magnitude(const std::vector<Limb>& a,
-                               const std::vector<Limb>& b);
-  static std::vector<Limb> add_magnitude(const std::vector<Limb>& a,
-                                         const std::vector<Limb>& b);
+  static int compare_magnitude(const Limbs& a, const Limbs& b);
+  static Limbs add_magnitude(const Limbs& a, const Limbs& b);
   // requires |a| >= |b|
-  static std::vector<Limb> sub_magnitude(const std::vector<Limb>& a,
-                                         const std::vector<Limb>& b);
-  static std::vector<Limb> mul_magnitude(const std::vector<Limb>& a,
-                                         const std::vector<Limb>& b);
-  static std::vector<Limb> mul_schoolbook(const std::vector<Limb>& a,
-                                          const std::vector<Limb>& b);
-  static std::vector<Limb> mul_karatsuba(const std::vector<Limb>& a,
-                                         const std::vector<Limb>& b);
+  static Limbs sub_magnitude(const Limbs& a, const Limbs& b);
+  static Limbs mul_magnitude(const Limbs& a, const Limbs& b);
+  static Limbs mul_schoolbook(const Limbs& a, const Limbs& b);
+  static Limbs mul_karatsuba(const Limbs& a, const Limbs& b);
   // long division of magnitudes; returns {quot, rem}
-  static std::pair<std::vector<Limb>, std::vector<Limb>> divmod_magnitude(
-      const std::vector<Limb>& num, const std::vector<Limb>& den);
+  static std::pair<Limbs, Limbs> divmod_magnitude(const Limbs& num,
+                                                  const Limbs& den);
 };
 
 }  // namespace spiv::exact

@@ -1,5 +1,6 @@
 #include "exact/lyapunov_exact.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
@@ -83,21 +84,28 @@ bool lyapunov_residual_is_zero(const RatMatrix& a, const RatMatrix& p,
   return true;
 }
 
-/// Multi-modular solve of op x = rhs (column vector).  nullopt means "use
-/// Bareiss": the strategy didn't select modular, the system looks singular,
-/// or reconstruction failed.  Only genuine failures count as fallbacks.
+/// Multi-modular solve of op X = B (any number of RHS columns — the
+/// per-prime elimination is shared across all of them).  nullopt means
+/// "use Bareiss": the strategy didn't select modular, the system looks
+/// singular, or reconstruction failed.  Only genuine failures count as
+/// fallbacks.
+std::optional<RatMatrix> try_modular_solve(
+    const RatMatrix& op, const RatMatrix& b, const Deadline& deadline,
+    std::optional<ExactSolverStrategy> strategy) {
+  if (!modular_preferred(op.rows(), strategy.value_or(exact_solver_strategy())))
+    return std::nullopt;
+  auto x = solve_rational_modular(op, b, deadline);
+  if (!x) fallback_counter().add();
+  return x;
+}
+
 std::optional<std::vector<Rational>> try_modular_solve(
     const RatMatrix& op, const std::vector<Rational>& rhs,
     const Deadline& deadline, std::optional<ExactSolverStrategy> strategy) {
-  if (!modular_preferred(op.rows(), strategy.value_or(exact_solver_strategy())))
-    return std::nullopt;
   RatMatrix b{op.rows(), 1};
   for (std::size_t i = 0; i < rhs.size(); ++i) b(i, 0) = rhs[i];
-  auto x = solve_rational_modular(op, b, deadline);
-  if (!x) {
-    fallback_counter().add();
-    return std::nullopt;
-  }
+  auto x = try_modular_solve(op, b, deadline, strategy);
+  if (!x) return std::nullopt;
   std::vector<Rational> out(op.rows());
   for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::move((*x)(i, 0));
   return out;
@@ -139,47 +147,102 @@ RatMatrix lyapunov_operator_vech(const RatMatrix& a, const Deadline& deadline) {
   const std::size_t n = a.rows();
   const std::size_t big_n = n * (n + 1) / 2;
   RatMatrix op{big_n, big_n};
-  const RatMatrix at = a.transposed();
   // Column for the symmetric basis matrix E_{ij} (ones at (i,j),(j,i)).
+  // F = A^T E_{ij} + E_{ij} A has at most 4 contributions per cell:
+  //   F(r,c) = [c==j] a(i,r) + [c==i] a(j,r) + [r==i] a(j,c) + [r==j] a(i,c)
+  // (drop the first and third term's twin when i == j, where E has a
+  // single 1 at (i,i)).  F only has entries in rows/columns i and j, so
+  // the dense two-matrix-products assembly (O(n^3) rational multiplies
+  // per column, O(n^5) total) reduces to O(n) copies per column.
   for (std::size_t j = 0; j < n; ++j) {
     for (std::size_t i = j; i < n; ++i) {
       deadline.check();
-      RatMatrix e{n, n};
-      e(i, j) = Rational{1};
-      e(j, i) = Rational{1};
-      RatMatrix f = at * e + e * a;
       const std::size_t col = vech_index(i, j, n);
-      for (std::size_t jj = 0; jj < n; ++jj)
-        for (std::size_t ii = jj; ii < n; ++ii)
-          op(vech_index(ii, jj, n), col) = f(ii, jj);
+      const auto cell = [&](std::size_t r, std::size_t c) {
+        Rational v;
+        if (c == j) v += a(i, r);
+        if (r == j) v += a(i, c);
+        if (i != j) {
+          if (c == i) v += a(j, r);
+          if (r == i) v += a(j, c);
+        }
+        return v;
+      };
+      // Nonzero cells of the lower triangle: row or column in {i, j}.
+      for (std::size_t t = 0; t < n; ++t) {
+        op(vech_index(t, j, n), col) = cell(std::max(t, j), std::min(t, j));
+        if (i != j && t != j)
+          op(vech_index(t, i, n), col) = cell(std::max(t, i), std::min(t, i));
+      }
     }
   }
   return op;
 }
 
+std::vector<std::optional<RatMatrix>> solve_lyapunov_exact_multi(
+    const RatMatrix& a, const std::vector<RatMatrix>& qs,
+    const Deadline& deadline, std::optional<ExactSolverStrategy> strategy) {
+  if (!a.is_square())
+    throw std::invalid_argument("solve_lyapunov_exact: A must be square");
+  for (const RatMatrix& q : qs) {
+    if (!q.is_square() || a.rows() != q.rows())
+      throw std::invalid_argument("solve_lyapunov_exact: shape mismatch");
+    if (!q.is_symmetric())
+      throw std::invalid_argument("solve_lyapunov_exact: Q must be symmetric");
+  }
+  const std::size_t n = a.rows();
+  const std::size_t k = qs.size();
+  std::vector<std::optional<RatMatrix>> out(k);
+  if (k == 0) return out;
+  RatMatrix op = lyapunov_operator_vech(a, deadline);
+  RatMatrix b{op.rows(), k};
+  for (std::size_t c = 0; c < k; ++c) {
+    const std::vector<Rational> col = vech(-qs[c]);
+    for (std::size_t i = 0; i < col.size(); ++i) b(i, c) = col[i];
+  }
+  std::vector<std::size_t> remaining;  // columns the modular path missed
+  if (auto xm = try_modular_solve(op, b, deadline, strategy)) {
+    for (std::size_t c = 0; c < k; ++c) {
+      std::vector<Rational> col(op.rows());
+      for (std::size_t i = 0; i < col.size(); ++i) col[i] = (*xm)(i, c);
+      RatMatrix p = unvech(col, n);
+      // The modular path already verified op·X == B; this recheck is the
+      // belt-and-braces guarantee that what we hand out satisfies the
+      // *Lyapunov equation*, independent of how op was assembled.
+      if (lyapunov_residual_is_zero(a, p, qs[c], deadline)) {
+        out[c] = std::move(p);
+      } else {
+        fallback_counter().add();
+        remaining.push_back(c);
+      }
+    }
+  } else {
+    for (std::size_t c = 0; c < k; ++c) remaining.push_back(c);
+  }
+  if (remaining.empty()) return out;
+  // Deadline-aware fraction-free solve for whatever the modular path did
+  // not deliver — one Bareiss elimination shared across the leftover RHS
+  // columns (RatMatrix::solve polls the deadline and any attached
+  // CancelToken at row granularity).
+  RatMatrix b_rest{op.rows(), remaining.size()};
+  for (std::size_t c = 0; c < remaining.size(); ++c)
+    for (std::size_t i = 0; i < op.rows(); ++i)
+      b_rest(i, c) = b(i, remaining[c]);
+  auto x = op.solve(b_rest, deadline);
+  if (!x) return out;  // singular operator: the missing columns stay empty
+  for (std::size_t c = 0; c < remaining.size(); ++c) {
+    std::vector<Rational> col(op.rows());
+    for (std::size_t i = 0; i < col.size(); ++i) col[i] = (*x)(i, c);
+    out[remaining[c]] = unvech(col, n);
+  }
+  return out;
+}
+
 std::optional<RatMatrix> solve_lyapunov_exact(
     const RatMatrix& a, const RatMatrix& q, const Deadline& deadline,
     std::optional<ExactSolverStrategy> strategy) {
-  if (!a.is_square() || !q.is_square() || a.rows() != q.rows())
-    throw std::invalid_argument("solve_lyapunov_exact: shape mismatch");
-  if (!q.is_symmetric())
-    throw std::invalid_argument("solve_lyapunov_exact: Q must be symmetric");
-  const std::size_t n = a.rows();
-  RatMatrix op = lyapunov_operator_vech(a, deadline);
-  const std::vector<Rational> rhs = vech(-q);
-  if (auto xm = try_modular_solve(op, rhs, deadline, strategy)) {
-    RatMatrix p = unvech(*xm, n);
-    // The modular path already verified op·x == rhs; this recheck is the
-    // belt-and-braces guarantee that what we hand out satisfies the
-    // *Lyapunov equation*, independent of how op was assembled.
-    if (lyapunov_residual_is_zero(a, p, q, deadline)) return p;
-    fallback_counter().add();
-  }
-  // Deadline-aware fraction-free solve (RatMatrix::solve polls the deadline
-  // and any attached CancelToken at row granularity).
-  auto x = op.solve(rhs, deadline);
-  if (!x) return std::nullopt;
-  return unvech(*x, n);
+  auto ps = solve_lyapunov_exact_multi(a, {q}, deadline, strategy);
+  return std::move(ps.front());
 }
 
 RatMatrix lyapunov_residual(const RatMatrix& a, const RatMatrix& p,

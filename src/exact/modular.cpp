@@ -13,6 +13,7 @@
 #include "core/parallel.hpp"
 #include "exact/int_system.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace spiv::exact {
 
@@ -24,14 +25,34 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+/// Accumulates wall-clock into a phase total even when the guarded section
+/// throws (deadline expiry mid-reconstruction must still be attributed).
+struct PhaseTimer {
+  explicit PhaseTimer(double& acc) : acc_(acc) {}
+  ~PhaseTimer() { acc_ += seconds_since(t0_); }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double& acc_;
+  Clock::time_point t0_ = Clock::now();
+};
+
 /// Hot-path metric handles, resolved once.  Constructed eagerly below so
 /// the whole family is present in `spiv-serve metrics` / --metrics-out
 /// output even before the first modular solve runs.
 struct Metrics {
   obs::Histogram& prime_solve_seconds = obs::Registry::global().histogram(
       "spiv_modular_prime_solve_seconds");
+  // Per-solve phase totals (wall clock, driver-attributed).
+  obs::Histogram& elim_seconds =
+      obs::Registry::global().histogram("spiv_modular_elim_seconds");
+  obs::Histogram& crt_seconds =
+      obs::Registry::global().histogram("spiv_modular_crt_seconds");
   obs::Histogram& reconstruct_seconds = obs::Registry::global().histogram(
       "spiv_modular_reconstruct_seconds");
+  obs::Histogram& verify_seconds =
+      obs::Registry::global().histogram("spiv_modular_verify_seconds");
   obs::Counter& primes_used =
       obs::Registry::global().counter("spiv_modular_primes_used_total");
   obs::Counter& unlucky_primes =
@@ -99,45 +120,6 @@ bool is_prime_u64(std::uint64_t n) {
     if (witness) return false;
   }
   return true;
-}
-
-// --------------------------------------------------------- size estimates
-
-/// Bits of a Hadamard-style bound on |det| of the integer matrix, by rows:
-/// |det| <= prod_i ||row_i||_2 <= prod_i sqrt(n) * max_j |m_ij|.
-std::size_t det_bound_bits(const std::vector<std::vector<BigInt>>& m) {
-  const std::size_t n = m.size();
-  const std::size_t half_log = (std::bit_width(n) + 1) / 2;
-  std::size_t bits = 1;
-  for (const auto& row : m) {
-    std::size_t row_bits = 0;
-    for (const BigInt& v : row) row_bits = std::max(row_bits, v.bit_length());
-    bits += row_bits + half_log + 1;
-  }
-  return bits;
-}
-
-/// Bits the CRT modulus must reach so balanced rational reconstruction of
-/// the solution of M x = R is guaranteed: by Cramer, every numerator is a
-/// det of M with a column swapped for an R column and every denominator
-/// divides det(M); both are below the column-Hadamard bound, and balanced
-/// reconstruction needs the modulus to exceed 2 * max(num, den)^2.
-std::size_t solve_budget_bits(const std::vector<std::vector<BigInt>>& m,
-                              const std::vector<std::vector<BigInt>>& rhs) {
-  const std::size_t n = m.size();
-  const std::size_t half_log = (std::bit_width(n) + 1) / 2;
-  std::size_t sum_cols = 0;
-  for (std::size_t j = 0; j < n; ++j) {
-    std::size_t col_bits = 0;
-    for (std::size_t i = 0; i < n; ++i)
-      col_bits = std::max(col_bits, m[i][j].bit_length());
-    sum_cols += col_bits + half_log + 1;
-  }
-  std::size_t b_bits = 0;
-  for (const auto& row : rhs)
-    for (const BigInt& v : row) b_bits = std::max(b_bits, v.bit_length());
-  const std::size_t num_bits = sum_cols + b_bits + half_log + 1;
-  return 2 * num_bits + 2;
 }
 
 // ------------------------------------------------------- per-prime kernel
@@ -272,82 +254,133 @@ void det_one_prime(const detail::IntSystem& sys, std::size_t n,
 
 // --------------------------------------------------------------- CRT fold
 
-/// Fold residues `r` (plain, mod p) into the accumulated CRT state:
-/// afterwards each xs[e] is the unique value in [0, m*p) matching all
-/// primes folded so far, and m has been multiplied by p.
-void crt_fold(std::vector<BigInt>& xs, BigInt& m,
-              const std::vector<std::uint64_t>& r, std::uint64_t p) {
-  const Montgomery62 mont{p};
-  const std::uint64_t m_mod = m.mod_u64(p);
-  const std::uint64_t minv_mont = mont.inv(mont.to_mont(m_mod));
-  for (std::size_t e = 0; e < xs.size(); ++e) {
-    const std::uint64_t xe = xs[e].mod_u64(p);
-    const std::uint64_t diff = r[e] >= xe ? r[e] - xe : r[e] + (p - xe);
-    const std::uint64_t t =
-        mont.from_mont(mont.mul(mont.to_mont(diff), minv_mont));
-    if (t != 0) xs[e] += m * BigInt{static_cast<std::int64_t>(t)};
+/// a^{-1} mod m (extended Euclid), for gcd(a, m) == 1; result in [0, m).
+BigInt modinv_big(const BigInt& a, const BigInt& m) {
+  BigInt r0 = m;
+  BigInt r1 = a % m;
+  if (r1.is_negative()) r1 += m;
+  BigInt t0{0}, t1{1};
+  while (!r1.is_zero()) {
+    auto [q, r2] = BigInt::div_mod(r0, r1);
+    BigInt t2 = t0 - q * t1;
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    t0 = std::move(t1);
+    t1 = std::move(t2);
   }
-  m *= BigInt{static_cast<std::int64_t>(p)};
+  if (t0.is_negative()) t0 += m;
+  return t0;
 }
 
-// ------------------------------------------------ reconstruction + verify
+/// Shared (entry-independent) data for one batched CRT fold: the per-prime
+/// delta multipliers and the balanced product tree that combines per-prime
+/// deltas into one group value.  Built once per batch on the driver; read
+/// concurrently by every entry-block worker.
+struct FoldPlan {
+  std::vector<std::uint64_t> primes;
+  std::vector<std::uint64_t> minv;  ///< (m mod p)^{-1} mod p, plain residue
+  struct Pair {
+    BigInt m_lo, m_hi;
+    BigInt inv_lo;  ///< m_lo^{-1} mod m_hi
+  };
+  /// levels[l] pairs adjacent subtree moduli; an odd tail passes through.
+  std::vector<std::vector<Pair>> levels;
+  BigInt group;  ///< product of all folded primes
+};
 
-/// Reconstruct every entry of the n x k solution from its CRT image and
-/// (optionally) verify A X == B exactly over the integer system.  nullopt
-/// when any entry fails to reconstruct or the verification fails — the
-/// driver then folds in more primes.  Polls the deadline per entry / per
-/// verified cell (a full-budget reconstruction on a vech-100+ system runs
-/// for seconds, far longer than the driver's between-batches poll) and
-/// throws TimeoutError on expiry; the histogram records either way.
-std::optional<RatMatrix> try_reconstruct(const detail::IntSystem& sys,
-                                         const std::vector<BigInt>& xs,
-                                         const BigInt& m, std::size_t n,
-                                         std::size_t k, bool verify,
-                                         const Deadline& deadline) {
-  struct Observe {
-    Clock::time_point t0 = Clock::now();
-    ~Observe() { metrics().reconstruct_seconds.observe(seconds_since(t0)); }
-  } observe;
-  const BigInt bound = isqrt((m - BigInt{1}) / BigInt{2});
-  RatMatrix x{n, k};
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t c = 0; c < k; ++c) {
-      deadline.check();
-      auto entry = rational_reconstruct(xs[i * k + c], m, bound);
-      if (!entry) return std::nullopt;
-      x(i, c) = std::move(*entry);
-    }
-  if (verify) {
-    // Check M·X == R entirely over the integers: scale X by the common
-    // denominator D (by Cramer every entry's denominator divides det(M), so
-    // D stays one det-sized value, not a product).  Rational arithmetic
-    // here would re-run a multi-thousand-bit gcd per accumulate.
-    BigInt d{1};
-    for (std::size_t e = 0; e < xs.size(); ++e) {
-      const BigInt& den = x(e / k, e % k).den();
-      if (den == d || den.is_one()) continue;
-      deadline.check();
-      d = d / BigInt::gcd(d, den) * den;  // lcm
-    }
-    std::vector<BigInt> xi(n * k);  // X·D, exact integers
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t c = 0; c < k; ++c)
-        xi[i * k + c] = x(i, c).num() * (d / x(i, c).den());
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t c = 0; c < k; ++c) {
-        deadline.check();
-        BigInt acc;
-        for (std::size_t j = 0; j < n; ++j) {
-          if (sys.m[i][j].is_zero() || xi[j * k + c].is_zero()) continue;
-          acc += sys.m[i][j] * xi[j * k + c];
-        }
-        if (acc != sys.rhs[i][c] * d) return std::nullopt;
-      }
+FoldPlan make_fold_plan(const std::vector<std::uint64_t>& primes,
+                        const BigInt& m) {
+  FoldPlan plan;
+  plan.primes = primes;
+  plan.minv.reserve(primes.size());
+  for (std::uint64_t p : primes) {
+    const Montgomery62 mont{p};
+    plan.minv.push_back(
+        mont.from_mont(mont.inv(mont.to_mont(m.mod_u64(p)))));
   }
-  return x;
+  std::vector<BigInt> mods;
+  mods.reserve(primes.size());
+  for (std::uint64_t p : primes)
+    mods.emplace_back(static_cast<std::int64_t>(p));
+  while (mods.size() > 1) {
+    std::vector<FoldPlan::Pair> level;
+    std::vector<BigInt> next;
+    level.reserve(mods.size() / 2);
+    next.reserve((mods.size() + 1) / 2);
+    std::size_t i = 0;
+    for (; i + 1 < mods.size(); i += 2) {
+      FoldPlan::Pair pair{mods[i], mods[i + 1],
+                          modinv_big(mods[i], mods[i + 1])};
+      next.push_back(pair.m_lo * pair.m_hi);
+      level.push_back(std::move(pair));
+    }
+    if (i < mods.size()) next.push_back(std::move(mods[i]));
+    mods = std::move(next);
+    plan.levels.push_back(std::move(level));
+  }
+  plan.group = mods.empty() ? BigInt{1} : std::move(mods.front());
+  return plan;
+}
+
+/// Combine the first `count` per-prime deltas in `vals` (vals[i] mod
+/// plan.primes[i]) into the unique value mod plan.group, bottom-up through
+/// the product tree.  `vals` is caller-owned scratch, overwritten in place.
+BigInt combine_fold_tree(const FoldPlan& plan, std::vector<BigInt>& vals,
+                         std::size_t count) {
+  for (const auto& level : plan.levels) {
+    std::size_t out = 0;
+    std::size_t i = 0;
+    for (const FoldPlan::Pair& pair : level) {
+      // v = v_lo + m_lo * (((v_hi - v_lo) mod m_hi) * inv_lo mod m_hi)
+      BigInt t = vals[i + 1] - vals[i];
+      t %= pair.m_hi;
+      if (t.is_negative()) t += pair.m_hi;
+      t *= pair.inv_lo;
+      t %= pair.m_hi;
+      vals[out++] = vals[i] + pair.m_lo * t;
+      i += 2;
+    }
+    if (i < count) vals[out++] = std::move(vals[i]);
+    count = out;
+  }
+  return std::move(vals.front());
 }
 
 }  // namespace
+
+namespace detail {
+
+void crt_fold_batch(std::vector<BigInt>& xs, BigInt& m,
+                    const std::vector<const std::uint64_t*>& residues,
+                    const std::vector<std::uint64_t>& primes,
+                    std::size_t jobs) {
+  if (primes.empty()) return;
+  const FoldPlan plan = make_fold_plan(primes, m);
+  const std::size_t np = primes.size();
+  core::for_each_block(
+      xs.size(), jobs,
+      [&](std::size_t b0, std::size_t b1, const CancelToken& /*token*/) {
+        std::vector<BigInt> vals(np);
+        for (std::size_t e = b0; e < b1; ++e) {
+          // Per-prime delta: t_p = (r_p - x_e) * m^{-1} (mod p), so that
+          // x_e + m * CRT(t_p...) matches every folded prime and stays
+          // congruent to x_e mod m.
+          for (std::size_t i = 0; i < np; ++i) {
+            const std::uint64_t p = primes[i];
+            const std::uint64_t xe = xs[e].mod_u64(p);
+            const std::uint64_t r = residues[i][e];
+            const std::uint64_t diff = r >= xe ? r - xe : r + (p - xe);
+            vals[i] = BigInt{static_cast<std::int64_t>(
+                mulmod_u64(diff, plan.minv[i], p))};
+          }
+          BigInt t = combine_fold_tree(plan, vals, np);
+          if (!t.is_zero()) xs[e] += m * t;
+        }
+      });
+  m *= plan.group;
+}
+
+}  // namespace detail
 
 // --------------------------------------------------------------- montgomery
 
@@ -447,6 +480,56 @@ std::optional<Rational> rational_reconstruct(const BigInt& u, const BigInt& m,
 
 // ------------------------------------------------------------------ solve
 
+namespace {
+
+/// Cached reconstruction candidate for one solution entry.  Entries whose
+/// denominators are small reconstruct at early checkpoints; afterwards
+/// each new prime only costs the word-mod congruence recheck in
+/// revalidate_candidates, never another Euclid pass.
+struct EntryCand {
+  Rational value;
+  bool valid = false;
+};
+
+/// Drop every cached candidate that disagrees with a freshly folded prime:
+/// a surviving candidate satisfies num == den * x (mod old m) and (mod p)
+/// for each new p, hence (mod current m) by CRT — with unchanged Wang
+/// bounds and gcd 1 it is *the* unique reconstruction at the current
+/// modulus, no Euclid needed.
+void revalidate_candidates(std::vector<EntryCand>& cands,
+                           const std::vector<BigInt>& xs,
+                           const std::vector<std::uint64_t>& fresh_primes) {
+  if (fresh_primes.empty()) return;
+  for (std::size_t e = 0; e < cands.size(); ++e) {
+    EntryCand& c = cands[e];
+    if (!c.valid) continue;
+    for (std::uint64_t p : fresh_primes) {
+      const std::uint64_t num_p = c.value.num().mod_u64(p);
+      const std::uint64_t den_p = c.value.den().mod_u64(p);
+      const std::uint64_t xe_p = xs[e].mod_u64(p);
+      if (num_p != mulmod_u64(den_p, xe_p, p)) {
+        c.valid = false;
+        break;
+      }
+    }
+  }
+}
+
+/// lcm(d, den) with a cheap divisibility pre-check: on the fast path every
+/// denominator divides det(M), so after the first entry the remainder test
+/// short-circuits the det-sized gcd.
+void fold_lcm(BigInt& d, const BigInt& den) {
+  if (den.is_one() || den == d) return;
+  if (d.is_one()) {
+    d = den;
+    return;
+  }
+  if ((d % den).is_zero()) return;
+  d = d / BigInt::gcd(d, den) * den;
+}
+
+}  // namespace
+
 std::optional<RatMatrix> solve_rational_modular(const RatMatrix& a,
                                                 const RatMatrix& b,
                                                 const Deadline& deadline,
@@ -459,25 +542,134 @@ std::optional<RatMatrix> solve_rational_modular(const RatMatrix& a,
   metrics().solves.add();
   deadline.check();
   const detail::IntSystem sys = detail::clear_denominators(a, &b);
-  const std::size_t budget_bits = solve_budget_bits(sys.m, sys.rhs);
+  const std::size_t budget_bits = sys.solve_budget_bits;
   const std::size_t jobs = core::resolve_jobs(options.jobs);
   const std::size_t batch = std::max<std::size_t>(jobs, 8);
+  std::size_t checkpoint =
+      options.checkpoint != 0
+          ? options.checkpoint
+          : core::env::modular_checkpoint().value_or(4);
 
-  std::vector<BigInt> xs(n * k);  // CRT images of the solution entries
+  const std::size_t entries = n * k;
+  std::vector<BigInt> xs(entries);  // CRT images of the solution entries
   BigInt m{1};
   std::size_t prime_index = 0;
   std::uint64_t primes_used = 0;
   std::uint64_t unlucky = 0;
-  std::size_t checkpoint = 4;  // trial reconstruction schedule (doubling)
+  std::vector<EntryCand> cands(entries);
+  std::vector<std::uint64_t> fresh_primes;  // folded since the last attempt
+  double elim_s = 0, crt_s = 0, rec_s = 0, ver_s = 0;
 
   auto finish = [&](bool early, std::optional<RatMatrix> result) {
     metrics().primes_used.add(primes_used);
     metrics().unlucky_primes.add(unlucky);
     if (early && result) metrics().early_exits.add();
-    if (options.stats)
-      *options.stats = ModularStats{primes_used, unlucky,
-                                    early && result.has_value()};
+    metrics().elim_seconds.observe(elim_s);
+    metrics().crt_seconds.observe(crt_s);
+    metrics().reconstruct_seconds.observe(rec_s);
+    metrics().verify_seconds.observe(ver_s);
+    if (options.stats) {
+      ModularStats s;
+      s.primes_used = primes_used;
+      s.unlucky_primes = unlucky;
+      s.early_exit = early && result.has_value();
+      s.elim_seconds = elim_s;
+      s.crt_seconds = crt_s;
+      s.reconstruct_seconds = rec_s;
+      s.verify_seconds = ver_s;
+      *options.stats = s;
+    }
     return result;
+  };
+
+  // Output-sensitive trial reconstruction.  Revalidates cached candidates
+  // against the primes folded since the last attempt (word mods only),
+  // then fills the gaps: first via the shared denominator — by Cramer all
+  // true denominators divide det(M), so x_e * d_shared mod m lifted to the
+  // balanced range usually IS the numerator times a cofactor of d_shared,
+  // one mulmod + gcd instead of an extended-Euclid pass — and only falls
+  // back to the full Euclid reconstruction when that misses.  With
+  // `strict` every cache and shortcut is bypassed (the final full-budget
+  // retry, so a pathological shared-denominator interaction can never
+  // wedge the solver into the Bareiss fallback).
+  auto attempt = [&](bool strict) -> std::optional<RatMatrix> {
+    obs::Span span{"modular-reconstruct"};
+    PhaseTimer timer{rec_s};
+    if (strict)
+      for (EntryCand& c : cands) c.valid = false;
+    revalidate_candidates(cands, xs, fresh_primes);
+    fresh_primes.clear();
+    const BigInt bound = isqrt((m - BigInt{1}) / BigInt{2});
+    BigInt d_shared{1};
+    RatMatrix x{n, k};
+    for (std::size_t e = 0; e < entries; ++e) {
+      deadline.check();
+      EntryCand& c = cands[e];
+      if (!c.valid && !strict && !d_shared.is_one()) {
+        BigInt w = xs[e] * d_shared % m;
+        if (w + w > m) w -= m;  // balanced lift: w in (-m/2, m/2]
+        const BigInt g = BigInt::gcd(w, d_shared);
+        BigInt num = w / g;
+        BigInt den = d_shared / g;
+        if (num.abs() <= bound && den <= bound) {
+          c.value = Rational{std::move(num), std::move(den)};
+          c.valid = true;
+        }
+      }
+      if (!c.valid) {
+        auto entry = rational_reconstruct(xs[e], m, bound);
+        if (!entry) return std::nullopt;  // fold more primes
+        c.value = std::move(*entry);
+        c.valid = true;
+      }
+      fold_lcm(d_shared, c.value.den());
+      x(e / k, e % k) = c.value;
+    }
+    return x;
+  };
+
+  // Exact A·X == B over the integer system, parallel over row blocks.
+  // Scales X by the shared denominator D first (by Cramer every entry's
+  // denominator divides det(M), so D stays one det-sized value) — rational
+  // accumulation would re-run a multi-thousand-bit gcd per term.
+  auto verify_solution = [&](const RatMatrix& x) -> bool {
+    obs::Span span{"modular-verify"};
+    PhaseTimer timer{ver_s};
+    BigInt d{1};
+    for (std::size_t e = 0; e < entries; ++e) {
+      deadline.check();
+      fold_lcm(d, x(e / k, e % k).den());
+    }
+    std::vector<BigInt> xi(entries);  // X·D, exact integers
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t c = 0; c < k; ++c)
+        xi[i * k + c] = x(i, c).num() * (d / x(i, c).den());
+    std::atomic<bool> ok{true};
+    std::atomic<bool> abandoned{false};
+    core::for_each_block(
+        n, jobs,
+        [&](std::size_t r0, std::size_t r1, const CancelToken& /*token*/) {
+          for (std::size_t i = r0; i < r1; ++i) {
+            if (!ok.load(std::memory_order_relaxed)) return;
+            if (deadline.expired()) {  // jobs must not throw; driver raises
+              abandoned.store(true, std::memory_order_relaxed);
+              return;
+            }
+            for (std::size_t c = 0; c < k; ++c) {
+              BigInt acc;
+              for (std::size_t j = 0; j < n; ++j) {
+                if (sys.m[i][j].is_zero() || xi[j * k + c].is_zero()) continue;
+                acc += sys.m[i][j] * xi[j * k + c];
+              }
+              if (acc != sys.rhs[i][c] * d) {
+                ok.store(false, std::memory_order_relaxed);
+                return;
+              }
+            }
+          }
+        });
+    if (abandoned.load()) deadline.check();
+    return ok.load();
   };
 
   while (m.bit_length() < budget_bits) {
@@ -489,32 +681,63 @@ std::optional<RatMatrix> solve_rational_modular(const RatMatrix& a,
     std::vector<PrimeSolve> results(batch);
     for (std::size_t i = 0; i < batch; ++i)
       results[i].prime = modular_prime(prime_index++);
-    core::for_each_job(batch, jobs,
-                       [&](std::size_t i, const CancelToken& /*token*/) {
-                         solve_one_prime(sys, n, k, deadline, results[i]);
-                       });
+    {
+      obs::Span span{"modular-elim"};
+      PhaseTimer timer{elim_s};
+      core::for_each_job(batch, jobs,
+                         [&](std::size_t i, const CancelToken& /*token*/) {
+                           solve_one_prime(sys, n, k, deadline, results[i]);
+                         });
+    }
     deadline.check();
+    // Lucky primes in prime order, truncated where the running modulus
+    // meets the budget — the folded sequence (hence every xs[e], hence the
+    // result) is independent of jobs and batch size.
+    std::vector<std::uint64_t> fold_primes;
+    std::vector<const std::uint64_t*> fold_residues;
+    BigInt m_run = m;
     for (const PrimeSolve& r : results) {
       if (r.status == PrimeStatus::Unlucky) {
         ++unlucky;
         continue;
       }
       if (r.status != PrimeStatus::Ok) continue;  // abandoned: deadline
-      if (m.bit_length() >= budget_bits) break;   // budget already met
-      crt_fold(xs, m, r.x, r.prime);
-      ++primes_used;
+      if (m_run.bit_length() >= budget_bits) break;  // budget already met
+      fold_primes.push_back(r.prime);
+      fold_residues.push_back(r.x.data());
+      m_run *= BigInt{static_cast<std::int64_t>(r.prime)};
     }
+    {
+      obs::Span span{"modular-crt"};
+      PhaseTimer timer{crt_s};
+      detail::crt_fold_batch(xs, m, fold_residues, fold_primes, jobs);
+    }
+    primes_used += fold_primes.size();
+    fresh_primes.insert(fresh_primes.end(), fold_primes.begin(),
+                        fold_primes.end());
     if (primes_used >= checkpoint && m.bit_length() < budget_bits) {
       checkpoint = primes_used * 2;
-      if (auto x = try_reconstruct(sys, xs, m, n, k, options.verify, deadline))
-        return finish(true, std::move(x));
+      if (auto x = attempt(false)) {
+        if (!options.verify || verify_solution(*x))
+          return finish(true, std::move(x));
+        // A spurious candidate survived the congruence checks; none of the
+        // caches can be trusted until more primes arrive.
+        for (EntryCand& c : cands) c.valid = false;
+      }
     }
   }
   // Full Hadamard budget reached: reconstruction now succeeds for every
-  // nonsingular system; a failure here means singular (or pathological),
-  // which the caller resolves via Bareiss.
-  return finish(false,
-                try_reconstruct(sys, xs, m, n, k, options.verify, deadline));
+  // nonsingular system.  If the cached/shared-denominator attempt fails or
+  // mis-verifies, retry once strictly (pure per-entry Euclid, no caches);
+  // a failure after that means singular (or pathological), which the
+  // caller resolves via Bareiss.
+  auto x = attempt(false);
+  if (x && options.verify && !verify_solution(*x)) x.reset();
+  if (!x) {
+    x = attempt(true);
+    if (x && options.verify && !verify_solution(*x)) x.reset();
+  }
+  return finish(false, std::move(x));
 }
 
 // ------------------------------------------------------------ determinant
@@ -527,7 +750,7 @@ Rational determinant_modular(const RatMatrix& mat, const Deadline& deadline,
   if (n == 0) return Rational{1};
   deadline.check();
   const detail::IntSystem sys = detail::clear_denominators(mat, nullptr);
-  const std::size_t budget_bits = det_bound_bits(sys.m) + 2;
+  const std::size_t budget_bits = sys.det_bound_bits + 2;
   const std::size_t jobs = core::resolve_jobs(options.jobs);
   const std::size_t batch = std::max<std::size_t>(jobs, 8);
 
@@ -535,26 +758,51 @@ Rational determinant_modular(const RatMatrix& mat, const Deadline& deadline,
   BigInt m{1};
   std::size_t prime_index = 0;
   std::uint64_t primes_used = 0;
+  double elim_s = 0, crt_s = 0;
   while (m.bit_length() < budget_bits) {
     deadline.check();
     std::vector<PrimeDet> results(batch);
     for (std::size_t i = 0; i < batch; ++i)
       results[i].prime = modular_prime(prime_index++);
-    core::for_each_job(batch, jobs,
-                       [&](std::size_t i, const CancelToken& /*token*/) {
-                         det_one_prime(sys, n, deadline, results[i]);
-                       });
+    {
+      obs::Span span{"modular-elim"};
+      PhaseTimer timer{elim_s};
+      core::for_each_job(batch, jobs,
+                         [&](std::size_t i, const CancelToken& /*token*/) {
+                           det_one_prime(sys, n, deadline, results[i]);
+                         });
+    }
     deadline.check();
+    std::vector<std::uint64_t> fold_primes;
+    std::vector<std::uint64_t> fold_dets;
+    BigInt m_run = m;
     for (const PrimeDet& r : results) {
       if (r.status != PrimeStatus::Ok) continue;
-      if (m.bit_length() >= budget_bits) break;
-      std::vector<std::uint64_t> residue{r.det};
-      crt_fold(xs, m, residue, r.prime);
-      ++primes_used;
+      if (m_run.bit_length() >= budget_bits) break;
+      fold_primes.push_back(r.prime);
+      fold_dets.push_back(r.det);
+      m_run *= BigInt{static_cast<std::int64_t>(r.prime)};
     }
+    std::vector<const std::uint64_t*> fold_residues;
+    fold_residues.reserve(fold_primes.size());
+    for (const std::uint64_t& det : fold_dets) fold_residues.push_back(&det);
+    {
+      obs::Span span{"modular-crt"};
+      PhaseTimer timer{crt_s};
+      detail::crt_fold_batch(xs, m, fold_residues, fold_primes, jobs);
+    }
+    primes_used += fold_primes.size();
   }
   metrics().primes_used.add(primes_used);
-  if (options.stats) *options.stats = ModularStats{primes_used, 0, false};
+  metrics().elim_seconds.observe(elim_s);
+  metrics().crt_seconds.observe(crt_s);
+  if (options.stats) {
+    ModularStats s;
+    s.primes_used = primes_used;
+    s.elim_seconds = elim_s;
+    s.crt_seconds = crt_s;
+    *options.stats = s;
+  }
   // Balanced representative: the scaled determinant is an integer with
   // |det| < 2^(budget_bits-1) <= m/2.
   BigInt det = std::move(xs[0]);

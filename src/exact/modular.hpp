@@ -11,13 +11,21 @@
 // reconstruction at doubling checkpoints exits far earlier on typical
 // inputs, and an exact A·X = B recheck makes the early exit sound.
 //
-// Per-prime solves are independent, so they fan out over core::JobPool;
-// residues are folded in prime order on the calling thread, which keeps
-// results bit-identical for any SPIV_JOBS.
+// Per-prime solves are independent, so they fan out over core::JobPool.
+// Residues are CRT-folded in prime-order batches through a balanced
+// product tree, parallelised over solution-entry blocks (each entry's CRT
+// image is a pure function of the residue sequence, so any SPIV_JOBS gives
+// bit-identical results).  Reconstruction is output-sensitive: entries
+// whose denominators are small lock in at early checkpoints and are only
+// revalidated with one word-mod per new prime afterwards, and a shared
+// denominator (every denominator divides det(M) by Cramer) turns most
+// per-entry reconstructions into a single mulmod instead of a full
+// extended-Euclid pass.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "exact/matrix.hpp"
 #include "exact/timeout.hpp"
@@ -49,16 +57,29 @@ struct ModularStats {
   std::uint64_t primes_used = 0;     ///< lucky primes folded into the CRT
   std::uint64_t unlucky_primes = 0;  ///< det == 0 mod p, skipped
   bool early_exit = false;  ///< reconstruction succeeded below the bound
+  // Per-phase wall-clock split of this solve (driver-attributed seconds;
+  // the elimination phase is the parallel fan-out's wall time, not the
+  // summed worker time).  The same split feeds the spiv_modular_elim /
+  // crt / reconstruct / verify histograms and BENCH_exact_solvers.json.
+  double elim_seconds = 0;
+  double crt_seconds = 0;
+  double reconstruct_seconds = 0;
+  double verify_seconds = 0;
 };
 
 struct ModularOptions {
-  /// Worker threads for the per-prime fan-out: 0 = $SPIV_JOBS (else
-  /// hardware_concurrency), 1 = serial on the calling thread.  Results are
-  /// identical for any value.
+  /// Worker threads for the per-prime fan-out, the entry-block CRT fold,
+  /// and the A·X == B recheck: 0 = $SPIV_JOBS (else hardware_concurrency),
+  /// 1 = serial on the calling thread.  Results are identical for any
+  /// value.
   std::size_t jobs = 0;
   /// Recheck A·X == B exactly after reconstruction (makes the early exit
   /// sound; cheap next to the elimination it replaces).
   bool verify = true;
+  /// First trial-reconstruction checkpoint, in lucky primes folded; the
+  /// schedule doubles from there.  0 = $SPIV_MODULAR_CHECKPOINT (default
+  /// 4).  Purely a performance knob: any schedule yields the same result.
+  std::size_t checkpoint = 0;
   ModularStats* stats = nullptr;  ///< optional out-param
 };
 
@@ -135,5 +156,23 @@ class Montgomery62 {
 [[nodiscard]] std::optional<Rational> rational_reconstruct(const BigInt& u,
                                                            const BigInt& m,
                                                            const BigInt& bound);
+
+namespace detail {
+
+/// Batched CRT fold (exposed for micro benchmarks and determinism tests).
+/// `residues[i][e]` is the plain residue of entry e modulo `primes[i]`
+/// (all primes distinct, odd, < 2^62, and coprime to m).  Afterwards every
+/// xs[e] is the unique value in [0, m·Πp) congruent to its old self mod m
+/// and to residues[i][e] mod primes[i], and m has been multiplied by Πp.
+/// The per-prime deltas are combined through a balanced product tree and
+/// the per-entry folds fan out over `jobs` workers in entry blocks; the
+/// result is a pure function of (xs, m, residues, primes) — bit-identical
+/// for any jobs value.
+void crt_fold_batch(std::vector<BigInt>& xs, BigInt& m,
+                    const std::vector<const std::uint64_t*>& residues,
+                    const std::vector<std::uint64_t>& primes,
+                    std::size_t jobs);
+
+}  // namespace detail
 
 }  // namespace spiv::exact

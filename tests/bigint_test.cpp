@@ -190,6 +190,63 @@ TEST(BigInt, ToDoubleAccuracy) {
 
 // --- property tests against int64/double reference arithmetic ---
 
+TEST(BigInt, InlineToHeapBoundaryArithmetic) {
+  // The limb storage keeps 4 x 32-bit limbs inline and moves to pooled
+  // heap blocks beyond that; exercise sizes straddling that boundary in
+  // both directions (grow via multiply, shrink via divide).
+  const BigInt base{"4294967295"};  // 2^32 - 1, one limb
+  BigInt acc{1};
+  std::vector<BigInt> stages;
+  for (int limbs = 1; limbs <= 9; ++limbs) {
+    acc *= base;
+    stages.push_back(acc);
+  }
+  for (int limbs = 9; limbs-- > 1;) {
+    auto [quot, rem] = BigInt::div_mod(acc, base);
+    EXPECT_TRUE(rem.is_zero()) << limbs;
+    acc = quot;
+    EXPECT_EQ(acc, stages[static_cast<std::size_t>(limbs) - 1]) << limbs;
+  }
+  // Add/sub round trip across the boundary (3 <-> 5 limbs).
+  const BigInt big = stages[4], small = stages[2];
+  EXPECT_EQ(big + small - small, big);
+  EXPECT_EQ(small + big - big, small);
+  EXPECT_EQ((big - big), BigInt{});
+}
+
+TEST(BigInt, MovedFromValuesAreReusable) {
+  BigInt heap = BigInt{"123456789123456789"}.pow(8);  // well past 4 limbs
+  const BigInt copy = heap;
+  BigInt stolen = std::move(heap);
+  EXPECT_EQ(stolen, copy);
+  heap = BigInt{42};  // assign into the moved-from object
+  EXPECT_EQ(heap.to_int64(), 42);
+  heap = stolen * BigInt{2};
+  EXPECT_EQ(heap, copy + copy);
+}
+
+TEST(BigInt, SmallOperandFastPathsMatchWideReference) {
+  // +=, -=, *=, div_mod and gcd all special-case operands that fit two
+  // limbs; compare against the same computation routed through multi-limb
+  // values (scaled up then back down).
+  std::mt19937_64 rng{77};
+  const BigInt scale = BigInt{"340282366920938463463374607431768211456"};  // 2^128
+  std::uniform_int_distribution<std::int64_t> dist{-1000000000, 1000000000};
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::int64_t x = dist(rng);
+    const std::int64_t y = dist(rng);
+    if (y == 0) continue;
+    const BigInt bx{x}, by{y};
+    EXPECT_EQ((bx * scale + by * scale), (bx + by) * scale);
+    EXPECT_EQ((bx * scale - by * scale), (bx - by) * scale);
+    auto [q_small, r_small] = BigInt::div_mod(bx, by);
+    auto [q_wide, r_wide] = BigInt::div_mod(bx * scale, by * scale);
+    EXPECT_EQ(q_small, q_wide);
+    EXPECT_EQ(r_small * scale, r_wide);
+    EXPECT_EQ(BigInt::gcd(bx, by) * scale, BigInt::gcd(bx * scale, by * scale));
+  }
+}
+
 class BigIntRandomProperty : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(BigIntRandomProperty, RingLawsAgainstInt64) {

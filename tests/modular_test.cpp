@@ -201,6 +201,117 @@ TEST(SolveRationalModular, ResultIndependentOfJobs) {
   EXPECT_EQ(*x1, *x4);
 }
 
+TEST(SolveRationalModular, PaperSizeVechSystemsMatchBareissAcrossJobs) {
+  // The Table I "TO" sizes: vech Lyapunov systems of matrix dimension 15
+  // and 18 (120 and 171 unknowns).  Small-coefficient random A keeps the
+  // Bareiss reference affordable; the property under test is the same as
+  // for the engine family — the modular result is bit-identical to
+  // Bareiss and independent of the worker count.
+  for (std::size_t n : {std::size_t{15}, std::size_t{18}}) {
+    std::mt19937_64 rng{7100 + n};
+    RatMatrix a = random_stable(rng, n);
+    RatMatrix op = lyapunov_operator_vech(a);
+    const std::vector<Rational> v = vech(RatMatrix::identity(n) * Rational{-1});
+    RatMatrix rhs{op.rows(), 1};
+    for (std::size_t i = 0; i < v.size(); ++i) rhs(i, 0) = v[i];
+    auto bareiss = op.solve(rhs);
+    ASSERT_TRUE(bareiss.has_value()) << "n=" << n;
+    for (std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+      ModularStats stats;
+      ModularOptions options;
+      options.jobs = jobs;
+      options.stats = &stats;
+      auto modular = solve_rational_modular(op, rhs, Deadline{}, options);
+      ASSERT_TRUE(modular.has_value()) << "n=" << n << " jobs=" << jobs;
+      EXPECT_EQ(*modular, *bareiss) << "n=" << n << " jobs=" << jobs;
+      EXPECT_GT(stats.primes_used, 0u);
+      // The per-phase split is recorded and accounts for real time.
+      EXPECT_GT(stats.elim_seconds, 0.0);
+      EXPECT_GT(stats.reconstruct_seconds, 0.0);
+      EXPECT_GE(stats.crt_seconds, 0.0);
+      EXPECT_GE(stats.verify_seconds, 0.0);
+    }
+  }
+}
+
+TEST(SolveRationalModular, PerEntryReconstructionHandlesMixedDenominators) {
+  // Output-sensitive reconstruction: a diagonal system whose solution
+  // mixes tiny denominators (reconstructable after a handful of primes,
+  // then served from the per-entry cache) with ~200-bit ones (needing
+  // most of the Hadamard budget), plus repeats that exercise the
+  // shared-denominator fast path.
+  const BigInt huge1 = BigInt{"340282366920938463463374607431768211507"};
+  const BigInt huge2 = BigInt{"18446744073709551629"}.pow(3);
+  const std::vector<Rational> expect = {
+      Rational{1, 2},
+      Rational{-3, 7},
+      Rational{5},
+      Rational{BigInt{7}, huge1},
+      Rational{BigInt{-11}, huge2},
+      Rational{BigInt{13}, huge1},   // repeated huge denominator
+      Rational{0},
+      Rational{1, 2},                // repeated tiny denominator
+  };
+  const std::size_t n = expect.size();
+  RatMatrix a{n, n};
+  RatMatrix b{n, 1};
+  for (std::size_t i = 0; i < n; ++i) {
+    // a(i,i) * x_i = 1  =>  pick a(i,i) = 1 / x_i (x_i = 0 row uses b = 0).
+    if (expect[i].is_zero()) {
+      a(i, i) = Rational{1};
+      b(i, 0) = Rational{0};
+    } else {
+      a(i, i) = Rational{expect[i].den(), expect[i].num()};
+      b(i, 0) = Rational{1};
+    }
+  }
+  ModularOptions options;
+  options.checkpoint = 1;  // reconstruct as eagerly as possible
+  auto x = solve_rational_modular(a, b, Deadline{}, options);
+  ASSERT_TRUE(x.has_value());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ((*x)(i, 0), expect[i]) << i;
+}
+
+TEST(SolveRationalModular, SkipsSeededUnluckyPrimeAtSize15) {
+  // A 15-dimensional system whose determinant is divisible by the first
+  // prime of the modular sequence: block-triangular with a(0,0) ==
+  // modular_prime(0), so p0 must be rejected as unlucky at full size and
+  // the result still match Bareiss bit-for-bit.
+  std::mt19937_64 rng{7111};
+  RatMatrix a = random_stable(rng, 15);
+  for (std::size_t j = 1; j < 15; ++j) a(0, j) = Rational{0};
+  for (std::size_t i = 1; i < 15; ++i) a(i, 0) = Rational{0};
+  a(0, 0) = Rational{static_cast<std::int64_t>(modular_prime(0))};
+  // Integer entries only: row scaling must not cancel the seeded factor.
+  for (std::size_t i = 1; i < 15; ++i)
+    for (std::size_t j = 1; j < 15; ++j)
+      a(i, j) = Rational{a(i, j).num() * BigInt{60} / a(i, j).den(), BigInt{1}};
+  RatMatrix b = random_matrix(rng, 15, 1);
+  ModularStats stats;
+  ModularOptions options;
+  options.stats = &stats;
+  auto modular = solve_rational_modular(a, b, Deadline{}, options);
+  auto bareiss = a.solve(b);
+  ASSERT_TRUE(modular.has_value());
+  ASSERT_TRUE(bareiss.has_value());
+  EXPECT_EQ(*modular, *bareiss);
+  EXPECT_GE(stats.unlucky_primes, 1u);
+}
+
+TEST(SolveRationalModular, CheckpointEnvKnobPreservesTheResult) {
+  std::mt19937_64 rng{7117};
+  RatMatrix a = random_stable(rng, 6);
+  RatMatrix b = random_matrix(rng, 6, 1);
+  const auto reference = solve_rational_modular(a, b);
+  ASSERT_TRUE(reference.has_value());
+  for (const char* v : {"1", "64", "not-a-number"}) {
+    ScopedEnv env{"SPIV_MODULAR_CHECKPOINT", v};
+    auto x = solve_rational_modular(a, b);
+    ASSERT_TRUE(x.has_value()) << v;
+    EXPECT_EQ(*x, *reference) << v;
+  }
+}
+
 TEST(SolveRationalModular, EarlyExitsWhenSolutionIsSmallerThanTheBound) {
   // Scaling the whole system by 10^40 inflates the Hadamard budget far
   // beyond what the (unchanged, small) solution needs; checkpointed trial

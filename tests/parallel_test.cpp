@@ -169,6 +169,28 @@ TEST(ForEachJob, CoversEveryIndexOnceSerialAndParallel) {
   }
 }
 
+TEST(ForEachBlock, PartitionsTheRangeExactlyOnce) {
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{5},
+                          std::size_t{7}, std::size_t{100}}) {
+      std::vector<int> hits(n, 0);
+      std::atomic<std::size_t> blocks{0};
+      for_each_block(n, jobs,
+                     [&](std::size_t begin, std::size_t end,
+                         const CancelToken& token) {
+                       EXPECT_FALSE(token.cancelled());
+                       EXPECT_LT(begin, end);
+                       blocks.fetch_add(1);
+                       for (std::size_t i = begin; i < end; ++i) hits[i] += 1;
+                     });
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i], 1) << "jobs=" << jobs << " n=" << n << " i=" << i;
+      EXPECT_LE(blocks.load(), jobs) << "jobs=" << jobs << " n=" << n;
+      if (n > 0) EXPECT_GE(blocks.load(), 1u);
+    }
+  }
+}
+
 // ------------------------------------------------------------ determinism
 
 ExperimentConfig size3_config(std::size_t jobs) {
