@@ -13,6 +13,7 @@ namespace {
 std::atomic<bool> g_warned_jobs{false};
 std::atomic<bool> g_warned_exact_solver{false};
 std::atomic<bool> g_warned_modular_checkpoint{false};
+std::atomic<bool> g_warned_negative_ttl{false};
 
 /// One stderr line per process per variable: the harnesses resolve their
 /// configuration once per driver, and a misconfigured shell should not
@@ -80,10 +81,31 @@ std::optional<std::size_t> modular_checkpoint() {
   return std::nullopt;
 }
 
+std::optional<double> negative_ttl() {
+  const char* v = raw("SPIV_NEG_TTL");
+  if (!v || !*v) return std::nullopt;
+  // Same full-parse discipline as the integer knobs: leading whitespace,
+  // trailing junk, negatives, and non-finite values all reject (strtod
+  // itself would skip leading whitespace and accept "inf").
+  if ((*v >= '0' && *v <= '9') || *v == '.') {
+    char* end = nullptr;
+    errno = 0;
+    const double seconds = std::strtod(v, &end);
+    if (end != v && *end == '\0' && errno == 0 && seconds >= 0.0 &&
+        seconds < 1e18)
+      return seconds;
+  }
+  warn_once(g_warned_negative_ttl,
+            "ignoring invalid SPIV_NEG_TTL='" + std::string{v} +
+                "' (must be a non-negative number of seconds)");
+  return std::nullopt;
+}
+
 void rearm_warnings_for_testing() {
   g_warned_jobs.store(false);
   g_warned_exact_solver.store(false);
   g_warned_modular_checkpoint.store(false);
+  g_warned_negative_ttl.store(false);
 }
 
 }  // namespace spiv::core::env

@@ -57,6 +57,12 @@ enum class ExactSolver { Auto, Bareiss, Modular };
 /// process and reads as nullopt.  Purely a performance knob.
 [[nodiscard]] std::optional<std::size_t> modular_checkpoint();
 
+/// $SPIV_NEG_TTL — TTL in seconds for negative caching of synth-failed and
+/// timeout outcomes in the certificate store (verify pipeline).  Returns
+/// nullopt when unset or malformed (malformed warns once per process);
+/// 0 disables negative caching, which is also the default.
+[[nodiscard]] std::optional<double> negative_ttl();
+
 /// Testing hook: rearm the warn-once flags so diagnostics tests can observe
 /// each warning deterministically.  Not for production code.
 void rearm_warnings_for_testing();

@@ -715,6 +715,21 @@ std::optional<RatMatrix> solve_rational_modular(const RatMatrix& a,
     primes_used += fold_primes.size();
     fresh_primes.insert(fresh_primes.end(), fold_primes.begin(),
                         fold_primes.end());
+    if (entries > 0 && primes_used < checkpoint && !cands[0].valid) {
+      // Denominator predictor (ROADMAP): one cheap Euclid pass on the first
+      // entry at the current — still small — modulus seeds the
+      // shared-denominator fast path, so the next full attempt usually
+      // skips its entry-0 reconstruction at a much larger modulus.  A
+      // spurious early candidate is harmless: like every cached candidate
+      // it must survive the per-prime congruence revalidation and the
+      // exact A·X == B verification.
+      PhaseTimer timer{rec_s};
+      const BigInt bound = isqrt((m - BigInt{1}) / BigInt{2});
+      if (auto entry = rational_reconstruct(xs[0], m, bound)) {
+        cands[0].value = std::move(*entry);
+        cands[0].valid = true;
+      }
+    }
     if (primes_used >= checkpoint && m.bit_length() < budget_bits) {
       checkpoint = primes_used * 2;
       if (auto x = attempt(false)) {

@@ -1,0 +1,82 @@
+#include "net/client.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+namespace spiv::net {
+
+bool Client::connect_unix(const std::string& path) {
+  std::signal(SIGPIPE, SIG_IGN);
+  fd_ = spiv::net::connect_unix(path, error_);
+  return fd_.valid();
+}
+
+bool Client::connect_tcp(const std::string& host, int port) {
+  std::signal(SIGPIPE, SIG_IGN);
+  fd_ = spiv::net::connect_tcp(host, port, error_);
+  return fd_.valid();
+}
+
+bool Client::send_line(const std::string& line) {
+  return send_raw(line + '\n');
+}
+
+bool Client::send_raw(const std::string& out) {
+  if (!fd_.valid()) return false;
+  std::size_t written = 0;
+  while (written < out.size()) {
+    const ssize_t n =
+        ::write(fd_.get(), out.data() + written, out.size() - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    error_ = std::string{"write: "} + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> Client::recv_line() {
+  for (;;) {
+    const std::size_t nl = inbuf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = inbuf_.substr(0, nl);
+      inbuf_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (eof_) {
+      if (inbuf_.empty()) return std::nullopt;
+      std::string line = std::move(inbuf_);
+      inbuf_.clear();
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (!fd_.valid()) return std::nullopt;
+    char buf[4096];
+    const ssize_t n = ::read(fd_.get(), buf, sizeof(buf));
+    if (n > 0) {
+      inbuf_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    error_ = std::string{"read: "} + std::strerror(errno);
+    return std::nullopt;
+  }
+}
+
+void Client::shutdown_write() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_WR);
+}
+
+}  // namespace spiv::net

@@ -1,0 +1,180 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace spiv::net {
+
+namespace {
+
+std::string errno_message(const char* what) {
+  return std::string{what} + ": " + std::strerror(errno);
+}
+
+Fd make_socket(int family, bool nonblocking, std::string& error) {
+  int type = SOCK_STREAM | SOCK_CLOEXEC;
+  if (nonblocking) type |= SOCK_NONBLOCK;
+  Fd fd{::socket(family, type, 0)};
+  if (!fd.valid()) error = errno_message("socket");
+  return fd;
+}
+
+/// Fill a sockaddr_un; false when the path exceeds sun_path (107 bytes on
+/// Linux) — a real limit users hit with deep tmpdirs, so spell it out.
+bool fill_unix_addr(const std::string& path, sockaddr_un& addr,
+                    std::string& error) {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    error = "unix socket path must be 1.." +
+            std::to_string(sizeof(addr.sun_path) - 1) + " bytes: '" + path +
+            "'";
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+/// Numeric-only resolution (inet_pton first, then getaddrinfo with
+/// AI_NUMERICHOST off so "localhost" works without DNS surprises for
+/// anything else the resolver knows locally).
+bool fill_tcp_addr(const std::string& host, int port, sockaddr_in& addr,
+                   std::string& error) {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1) return true;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = getaddrinfo(host.c_str(), nullptr, &hints, &res);
+  if (rc != 0 || !res) {
+    error = "cannot resolve host '" + host + "': " + gai_strerror(rc);
+    if (res) freeaddrinfo(res);
+    return false;
+  }
+  addr.sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+  freeaddrinfo(res);
+  return true;
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+std::optional<TcpAddress> parse_tcp_address(const std::string& text) {
+  TcpAddress out;
+  std::string port_text = text;
+  const std::size_t colon = text.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon == 0) return std::nullopt;
+    out.host = text.substr(0, colon);
+    port_text = text.substr(colon + 1);
+  }
+  if (port_text.empty()) return std::nullopt;
+  for (const char c : port_text)
+    if (c < '0' || c > '9') return std::nullopt;
+  if (port_text.size() > 5) return std::nullopt;
+  const long port = std::strtol(port_text.c_str(), nullptr, 10);
+  if (port < 0 || port > 65535) return std::nullopt;
+  out.port = static_cast<int>(port);
+  return out;
+}
+
+Fd listen_unix(const std::string& path, int backlog, std::string& error) {
+  sockaddr_un addr;
+  if (!fill_unix_addr(path, addr, error)) return {};
+  Fd fd = make_socket(AF_UNIX, /*nonblocking=*/true, error);
+  if (!fd.valid()) return {};
+  // A previous server instance leaves its socket file behind; binding over
+  // it needs the unlink.  A *live* server also holds the file, but it holds
+  // the listen queue too, so stealing its name is still the least-surprise
+  // behavior for a restart-in-place workflow.
+  ::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    error = errno_message("bind") + " (" + path + ")";
+    return {};
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    error = errno_message("listen") + " (" + path + ")";
+    return {};
+  }
+  return fd;
+}
+
+Fd listen_tcp(const std::string& host, int port, int backlog,
+              std::string& error) {
+  sockaddr_in addr;
+  if (!fill_tcp_addr(host, port, addr, error)) return {};
+  Fd fd = make_socket(AF_INET, /*nonblocking=*/true, error);
+  if (!fd.valid()) return {};
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    error = errno_message("bind") + " (" + host + ":" + std::to_string(port) +
+            ")";
+    return {};
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    error = errno_message("listen");
+    return {};
+  }
+  return fd;
+}
+
+Fd connect_unix(const std::string& path, std::string& error) {
+  sockaddr_un addr;
+  if (!fill_unix_addr(path, addr, error)) return {};
+  Fd fd = make_socket(AF_UNIX, /*nonblocking=*/false, error);
+  if (!fd.valid()) return {};
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    error = errno_message("connect") + " (" + path + ")";
+    return {};
+  }
+  return fd;
+}
+
+Fd connect_tcp(const std::string& host, int port, std::string& error) {
+  sockaddr_in addr;
+  if (!fill_tcp_addr(host, port, addr, error)) return {};
+  Fd fd = make_socket(AF_INET, /*nonblocking=*/false, error);
+  if (!fd.valid()) return {};
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    error = errno_message("connect") + " (" + host + ":" +
+            std::to_string(port) + ")";
+    return {};
+  }
+  return fd;
+}
+
+int local_tcp_port(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    return -1;
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace spiv::net

@@ -1,0 +1,77 @@
+// spiv::net socket primitives — the only layer that speaks POSIX sockets.
+//
+// Thin RAII + helper surface shared by the server event loop, the blocking
+// client, and the tests: an owning file descriptor, listener/connector
+// factories for the two supported address families (unix-domain and TCP),
+// and the address-string parsing the CLI flags use.  Everything above this
+// header deals in whole protocol lines, not fds.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace spiv::net {
+
+/// Owning file descriptor (move-only; -1 = empty).  Closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void reset();
+  /// Release ownership without closing.
+  [[nodiscard]] int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// "HOST:PORT" or bare "PORT" (host defaults to 127.0.0.1).  Port 0 asks
+/// the kernel for an ephemeral port (query it back with local_tcp_port).
+struct TcpAddress {
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
+/// Parse a --listen-tcp / --tcp argument; nullopt on malformed input
+/// (non-numeric port, port outside [0, 65535], empty host).
+[[nodiscard]] std::optional<TcpAddress> parse_tcp_address(
+    const std::string& text);
+
+// Listener/connector factories.  On failure they return an empty Fd and
+// describe the errno in `error`.  Listeners are created nonblocking and
+// close-on-exec; connectors are blocking (the client is synchronous).
+[[nodiscard]] Fd listen_unix(const std::string& path, int backlog,
+                             std::string& error);
+[[nodiscard]] Fd listen_tcp(const std::string& host, int port, int backlog,
+                            std::string& error);
+[[nodiscard]] Fd connect_unix(const std::string& path, std::string& error);
+[[nodiscard]] Fd connect_tcp(const std::string& host, int port,
+                             std::string& error);
+
+/// The port a TCP listener actually bound (resolves port 0); -1 on error.
+[[nodiscard]] int local_tcp_port(int fd);
+
+/// O_NONBLOCK on an accepted connection fd; false on fcntl failure.
+bool set_nonblocking(int fd);
+
+}  // namespace spiv::net

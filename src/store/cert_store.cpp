@@ -33,6 +33,10 @@ CertStore::CertStore(std::string dir, std::size_t memory_capacity)
           obs::Registry::global().counter("spiv_store_disk_hits_total")),
       m_misses_(obs::Registry::global().counter("spiv_store_misses_total")),
       m_writes_(obs::Registry::global().counter("spiv_store_writes_total")),
+      m_negative_hits_(
+          obs::Registry::global().counter("spiv_store_negative_hits_total")),
+      m_negative_writes_(
+          obs::Registry::global().counter("spiv_store_negative_writes_total")),
       lookup_memory_seconds_(obs::Registry::global().histogram(
           "spiv_store_lookup_seconds{tier=\"memory\"}")),
       lookup_disk_seconds_(obs::Registry::global().histogram(
@@ -79,13 +83,73 @@ void CertStore::remember(const std::string& key,
   if (it != shard.index.end()) {
     shard.lru.erase(it->second);
     shard.index.erase(it);
+    memory_entries_.fetch_sub(1, std::memory_order_relaxed);
   }
   shard.lru.emplace_front(key, std::move(rec));
   shard.index[key] = shard.lru.begin();
+  memory_entries_.fetch_add(1, std::memory_order_relaxed);
   while (shard.lru.size() > shard_capacity_) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
+    memory_entries_.fetch_sub(1, std::memory_order_relaxed);
   }
+}
+
+void CertStore::insert_negative(const std::string& key,
+                                const std::string& reason,
+                                double budget_seconds, double ttl_seconds) {
+  if (!(ttl_seconds > 0.0)) return;
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  // Bound the tier: sweep expired entries when it grows past the shard's
+  // LRU capacity, then evict arbitrarily — negatives are an optimization,
+  // dropping one only costs a recompute.
+  if (shard.negatives.size() >= shard_capacity_ + 64) {
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = shard.negatives.begin(); it != shard.negatives.end();)
+      it = it->second.expires <= now ? shard.negatives.erase(it)
+                                     : std::next(it);
+    if (shard.negatives.size() >= shard_capacity_ + 64)
+      shard.negatives.erase(shard.negatives.begin());
+  }
+  NegativeEntry entry;
+  entry.reason = reason;
+  entry.budget_seconds = budget_seconds;
+  entry.expires = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(ttl_seconds));
+  // Keep the more general entry: a live budget-independent failure already
+  // shields everything a budget-bound one would, so only refresh its expiry.
+  auto it = shard.negatives.find(key);
+  if (it != shard.negatives.end() && it->second.budget_seconds == 0.0 &&
+      budget_seconds > 0.0 &&
+      it->second.expires > std::chrono::steady_clock::now()) {
+    if (entry.expires > it->second.expires) it->second.expires = entry.expires;
+    return;
+  }
+  shard.negatives[key] = std::move(entry);
+  negative_writes_.fetch_add(1, std::memory_order_relaxed);
+  m_negative_writes_.add();
+}
+
+std::optional<NegativeEntry> CertStore::lookup_negative(
+    const std::string& key, double budget_seconds) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.negatives.find(key);
+  if (it == shard.negatives.end()) return std::nullopt;
+  if (it->second.expires <= std::chrono::steady_clock::now()) {
+    shard.negatives.erase(it);
+    return std::nullopt;
+  }
+  // A budget-bound failure only shields requests with no more budget than
+  // the run that failed; a bigger budget deserves a fresh attempt.
+  if (it->second.budget_seconds > 0.0 &&
+      budget_seconds > it->second.budget_seconds)
+    return std::nullopt;
+  negative_hits_.fetch_add(1, std::memory_order_relaxed);
+  m_negative_hits_.add();
+  return it->second;
 }
 
 std::shared_ptr<const CertRecord> CertStore::lookup(const std::string& key) {
@@ -169,6 +233,9 @@ StoreStats CertStore::stats() const {
   s.disk_hits = disk_hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.writes = writes_.load(std::memory_order_relaxed);
+  s.negative_hits = negative_hits_.load(std::memory_order_relaxed);
+  s.negative_writes = negative_writes_.load(std::memory_order_relaxed);
+  s.memory_entries = memory_entries_.load(std::memory_order_relaxed);
   return s;
 }
 

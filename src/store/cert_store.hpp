@@ -11,14 +11,21 @@
 // An in-memory sharded-mutex LRU fronts the disk: JobPool workers hammering
 // the store concurrently only contend on their key's shard, and repeated
 // hits on hot certificates skip the filesystem entirely.
+// A negative tier rides alongside: failures worth remembering (synthesis
+// infeasible, budget exhausted) are cached in memory with a TTL so a storm
+// of identical hopeless requests stops re-burning the synthesis budget.
+// Negative entries are deliberately NOT persisted — a failure is a claim
+// about this process's kernels and budgets, not a portable certificate.
 #pragma once
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -34,7 +41,19 @@ struct StoreStats {
   std::uint64_t disk_hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t writes = 0;
+  std::uint64_t negative_hits = 0;
+  std::uint64_t negative_writes = 0;
+  /// Certificates currently resident in the memory LRU tier.
+  std::uint64_t memory_entries = 0;
   [[nodiscard]] std::uint64_t hits() const { return memory_hits + disk_hits; }
+};
+
+/// A remembered failure: why it failed and, for budget-bound failures, the
+/// budget that was exhausted (0 = failure independent of budget).
+struct NegativeEntry {
+  std::string reason;           ///< e.g. "synth-failed", "timeout-synthesis"
+  double budget_seconds = 0.0;  ///< 0 = shields any budget
+  std::chrono::steady_clock::time_point expires{};
 };
 
 class CertStore {
@@ -68,6 +87,18 @@ class CertStore {
     insert(request_key(request), record);
   }
 
+  /// Remember a failure under `key` for `ttl_seconds`.  `budget_seconds`
+  /// > 0 marks a budget-bound failure (timeout): the entry then shields
+  /// only requests whose budget is <= the one that failed — a request
+  /// with MORE budget might succeed and is allowed through to recompute.
+  void insert_negative(const std::string& key, const std::string& reason,
+                       double budget_seconds, double ttl_seconds);
+
+  /// Fresh negative entry applicable to a request with `budget_seconds`
+  /// of budget, or nullopt.  Expired entries are evicted on the way.
+  [[nodiscard]] std::optional<NegativeEntry> lookup_negative(
+      const std::string& key, double budget_seconds);
+
   [[nodiscard]] const std::string& directory() const { return dir_; }
   [[nodiscard]] std::string path_for(const std::string& key) const;
   [[nodiscard]] StoreStats stats() const;
@@ -86,6 +117,8 @@ class CertStore {
     /// indexes them by key.
     std::list<std::pair<std::string, std::shared_ptr<const CertRecord>>> lru;
     std::unordered_map<std::string, decltype(lru)::iterator> index;
+    /// Negative tier (same lock: entries are tiny and touched rarely).
+    std::unordered_map<std::string, NegativeEntry> negatives;
   };
 
   [[nodiscard]] Shard& shard_for(const std::string& key);
@@ -98,12 +131,17 @@ class CertStore {
   std::atomic<std::uint64_t> disk_hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> writes_{0};
+  std::atomic<std::uint64_t> negative_hits_{0};
+  std::atomic<std::uint64_t> negative_writes_{0};
+  std::atomic<std::uint64_t> memory_entries_{0};
   // Global-registry mirrors of the counters above plus per-tier lookup and
   // insert latency histograms (resolved once here; observing is wait-free).
   obs::Counter& m_memory_hits_;
   obs::Counter& m_disk_hits_;
   obs::Counter& m_misses_;
   obs::Counter& m_writes_;
+  obs::Counter& m_negative_hits_;
+  obs::Counter& m_negative_writes_;
   obs::Histogram& lookup_memory_seconds_;
   obs::Histogram& lookup_disk_seconds_;
   obs::Histogram& lookup_miss_seconds_;

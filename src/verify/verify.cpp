@@ -59,6 +59,18 @@ VerifyOutcome run_verify_impl(const VerifyContext& ctx,
   cert_req.set_synthesis_params(options);
   out.key = store::request_key(cert_req);
 
+  // SharedBudget: one deadline covers both stages — synthesis consumes from
+  // the front, validation gets the remainder.  SplitBudget: synthesis runs
+  // under its own budget here; validation's clock starts only once
+  // synthesis is done (below), preserving Table I's per-stage semantics.
+  const bool shared = std::holds_alternative<SharedBudget>(req.budget);
+  // The scalar the negative tier gates timeouts on: the whole wall-clock
+  // budget this request could possibly burn.
+  const double total_budget =
+      shared ? std::get<SharedBudget>(req.budget).seconds
+             : std::get<SplitBudget>(req.budget).synth_seconds +
+                   std::get<SplitBudget>(req.budget).validate_seconds;
+
   if (ctx.store) {
     obs::Span span{"store-lookup", out.key};
     if (auto rec = ctx.store->lookup(out.key)) {
@@ -70,13 +82,21 @@ VerifyOutcome run_verify_impl(const VerifyContext& ctx,
       out.validate_seconds = out.record->validation.seconds();
       return out;
     }
+    if (ctx.negative_ttl_seconds > 0.0) {
+      if (auto neg = ctx.store->lookup_negative(out.key, total_budget)) {
+        out.cache = Cache::NegativeHit;
+        if (neg->reason == "synth-failed") {
+          out.status = Status::SynthFailed;
+        } else {
+          out.status = Status::Timeout;
+          out.timeout_stage = neg->reason == "timeout-validation"
+                                  ? Stage::Validation
+                                  : Stage::Synthesis;
+        }
+        return out;
+      }
+    }
   }
-
-  // SharedBudget: one deadline covers both stages — synthesis consumes from
-  // the front, validation gets the remainder.  SplitBudget: synthesis runs
-  // under its own budget here; validation's clock starts only once
-  // synthesis is done (below), preserving Table I's per-stage semantics.
-  const bool shared = std::holds_alternative<SharedBudget>(req.budget);
   Deadline deadline =
       shared ? mint_deadline(ctx, std::get<SharedBudget>(req.budget).seconds)
              : mint_deadline(ctx,
@@ -84,11 +104,22 @@ VerifyOutcome run_verify_impl(const VerifyContext& ctx,
   out.deadline = deadline;
   options.deadline = deadline;
 
+  // Failures worth remembering go into the store's negative tier (TTL'd,
+  // memory-only): a full certificate is never written for them, so without
+  // this every identical retry re-burns the whole budget.
+  const auto remember_failure = [&](const char* reason,
+                                    double budget_seconds) {
+    if (ctx.store && ctx.negative_ttl_seconds > 0.0)
+      ctx.store->insert_negative(out.key, reason, budget_seconds,
+                                 ctx.negative_ttl_seconds);
+  };
+
   try {
     out.candidate = lyap::synthesize(req.a, req.method, options);
   } catch (const TimeoutError&) {
     out.status = Status::Timeout;
     out.timeout_stage = Stage::Synthesis;
+    remember_failure("timeout-synthesis", total_budget);
     return out;
   } catch (const std::exception& e) {
     out.status = Status::Error;
@@ -98,6 +129,7 @@ VerifyOutcome run_verify_impl(const VerifyContext& ctx,
   }
   if (!out.candidate) {
     out.status = Status::SynthFailed;
+    remember_failure("synth-failed", 0.0);
     return out;
   }
   out.synth_seconds = out.candidate->synth_seconds;
@@ -115,6 +147,7 @@ VerifyOutcome run_verify_impl(const VerifyContext& ctx,
   } catch (const TimeoutError&) {
     out.status = Status::Timeout;
     out.timeout_stage = Stage::Validation;
+    remember_failure("timeout-validation", total_budget);
     return out;
   } catch (const std::exception& e) {
     out.status = Status::Error;
@@ -129,9 +162,11 @@ VerifyOutcome run_verify_impl(const VerifyContext& ctx,
       out.validation.decrease.outcome == smt::Outcome::Timeout;
   if (timed_out) {
     // A verdict under this run's budget is not a reusable certificate:
-    // never inserted, so it cannot poison warmer runs.
+    // never inserted as a certificate (it could poison warmer runs), but
+    // remembered in the budget-gated negative tier.
     out.status = Status::Timeout;
     out.timeout_stage = Stage::Validation;
+    remember_failure("timeout-validation", total_budget);
     return out;
   }
   if (ctx.store) {
@@ -161,6 +196,7 @@ const char* to_string(Cache c) {
     case Cache::Off: return "off";
     case Cache::Hit: return "hit";
     case Cache::Miss: return "miss";
+    case Cache::NegativeHit: return "neg-hit";
   }
   return "off";
 }
@@ -169,6 +205,7 @@ VerifyContext VerifyContext::from_env() {
   VerifyContext ctx;
   ctx.store = store::CertStore::from_env();
   ctx.jobs = core::env::jobs().value_or(0);
+  ctx.negative_ttl_seconds = core::env::negative_ttl().value_or(0.0);
   switch (core::env::exact_solver()) {
     case core::env::ExactSolver::Bareiss:
       ctx.exact_solver = exact::ExactSolverStrategy::Bareiss;

@@ -57,10 +57,13 @@ enum class Status {
 /// "valid" | "invalid" | "timeout" | "synth-failed" | "error".
 [[nodiscard]] const char* to_string(Status s);
 
-/// How the certificate store participated in this outcome.
-enum class Cache { Off, Hit, Miss };
+/// How the certificate store participated in this outcome.  NegativeHit:
+/// the store's negative tier replayed a remembered failure (synth-failed
+/// or timeout) without touching any kernel — see CertStore::lookup_negative
+/// for the TTL and budget-gating rules.
+enum class Cache { Off, Hit, Miss, NegativeHit };
 
-/// "off" | "hit" | "miss".
+/// "off" | "hit" | "miss" | "neg-hit".
 [[nodiscard]] const char* to_string(Cache c);
 
 /// Which stage ran out of budget (None unless status == Timeout).
@@ -102,9 +105,14 @@ struct VerifyContext {
   const CancelToken* token = nullptr;      ///< optional cooperative cancel
   std::size_t jobs = 0;                    ///< worker hint for drivers (0 = auto)
   std::optional<exact::ExactSolverStrategy> exact_solver;  ///< eq-smt backend
+  /// TTL for negative caching of synth-failed/timeout outcomes (0 = off).
+  /// Timeout entries only shield requests whose budget is <= the budget
+  /// that timed out, so raising a request's budget still recomputes.
+  double negative_ttl_seconds = 0.0;
   obs::Registry* registry = &obs::Registry::global();
 
-  /// $SPIV_CACHE_DIR store, $SPIV_JOBS hint, $SPIV_EXACT_SOLVER strategy.
+  /// $SPIV_CACHE_DIR store, $SPIV_JOBS hint, $SPIV_EXACT_SOLVER strategy,
+  /// $SPIV_NEG_TTL negative-cache TTL.
   [[nodiscard]] static VerifyContext from_env();
 };
 

@@ -109,6 +109,52 @@ TEST(Jobs, NegativeAndZeroAreMalformed) {
   testing::internal::GetCapturedStderr();
 }
 
+TEST(NegativeTtl, ValidValuesIncludingZero) {
+  {
+    ScopedEnv env{"SPIV_NEG_TTL", "30"};
+    ASSERT_TRUE(env::negative_ttl().has_value());
+    EXPECT_EQ(*env::negative_ttl(), 30.0);
+  }
+  {
+    ScopedEnv env{"SPIV_NEG_TTL", "0.5"};
+    ASSERT_TRUE(env::negative_ttl().has_value());
+    EXPECT_EQ(*env::negative_ttl(), 0.5);
+  }
+  {
+    // 0 is a VALID value (explicitly disables negative caching) as opposed
+    // to unset (caller picks its default).
+    ScopedEnv env{"SPIV_NEG_TTL", "0"};
+    ASSERT_TRUE(env::negative_ttl().has_value());
+    EXPECT_EQ(*env::negative_ttl(), 0.0);
+  }
+}
+
+TEST(NegativeTtl, UnsetReturnsNullopt) {
+  ScopedEnv env{"SPIV_NEG_TTL", nullptr};
+  EXPECT_FALSE(env::negative_ttl().has_value());
+}
+
+TEST(NegativeTtl, MalformedReturnsNulloptAndWarnsOnce) {
+  ScopedEnv env{"SPIV_NEG_TTL", "soon"};
+  env::rearm_warnings_for_testing();
+  testing::internal::CaptureStderr();
+  EXPECT_FALSE(env::negative_ttl().has_value());
+  EXPECT_FALSE(env::negative_ttl().has_value());
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("SPIV_NEG_TTL"), std::string::npos);
+  EXPECT_EQ(err.find("SPIV_NEG_TTL"), err.rfind("SPIV_NEG_TTL"));
+}
+
+TEST(NegativeTtl, RejectsNegativeTrailingJunkAndInf) {
+  env::rearm_warnings_for_testing();
+  testing::internal::CaptureStderr();
+  for (const char* bad : {"-1", "1.5s", " 2", "inf", "nan", "1e19"}) {
+    ScopedEnv env{"SPIV_NEG_TTL", bad};
+    EXPECT_FALSE(env::negative_ttl().has_value()) << bad;
+  }
+  testing::internal::GetCapturedStderr();
+}
+
 TEST(CacheDir, SetAndUnset) {
   {
     ScopedEnv env{"SPIV_CACHE_DIR", "/tmp/spiv-cache"};

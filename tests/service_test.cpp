@@ -7,11 +7,15 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
+#include <mutex>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "model/reduction.hpp"
 #include "model/serialize.hpp"
@@ -56,6 +60,12 @@ class ServiceTest : public ::testing::Test {
     options.jobs = 2;
     options.default_timeout_seconds = 30.0;
     options.store = store;
+    return drive_with(options, script, errors);
+  }
+
+  /// Same, with caller-supplied options (admission bounds, handler hooks).
+  std::string drive_with(const ServeOptions& options,
+                         const std::string& script, int* errors = nullptr) {
     std::istringstream in{script};
     std::ostringstream out;
     const int e = serve(in, out, options);
@@ -249,6 +259,151 @@ TEST_F(ServiceTest, TimeoutBudgetIsSharedBetweenSynthesisAndValidation) {
   // completion at ~s+v wall-clock.
   EXPECT_LT(wall, s + v) << "budget " << budget << " s, synthesis " << s
                          << " s, validation " << v << " s";
+}
+
+TEST_F(ServiceTest, BatchVerifyPipelinesAndSummarizes) {
+  const std::string tail = case_path() + " 0 eq-num - sylvester 10";
+  const std::string transcript = drive(
+      "batch-verify 3\n" + tail + "\nthis is not a verify tail\n" + tail +
+          "\nquit\n",
+      nullptr);
+  EXPECT_NE(transcript.find("queued ids=1-3 batch=3"), std::string::npos)
+      << transcript;
+  EXPECT_NE(result_line(transcript, 1).find("status=valid"),
+            std::string::npos);
+  EXPECT_NE(result_line(transcript, 2).find("status=error"),
+            std::string::npos);
+  EXPECT_NE(result_line(transcript, 3).find("status=valid"),
+            std::string::npos);
+  EXPECT_NE(transcript.find("batch-done ids=1-3 ok=2 failed=1 shed=0"),
+            std::string::npos)
+      << transcript;
+}
+
+TEST_F(ServiceTest, TruncatedBatchOnStdinReportsMissingMembers) {
+  int errors = 0;
+  const std::string transcript = drive(
+      "batch-verify 2\n" + case_path() + " 0 eq-num - sylvester 10\n",
+      nullptr, &errors);
+  EXPECT_NE(transcript.find("error batch truncated (1 member"),
+            std::string::npos)
+      << transcript;
+  EXPECT_NE(transcript.find("batch-done ids=1-2 ok=1 failed=0 shed=0"),
+            std::string::npos)
+      << transcript;
+  EXPECT_EQ(errors, 1);
+}
+
+TEST_F(ServiceTest, DeadlineCapRidesIntoTheRequestBudget) {
+  // Handler hook: record the effective timeout each request ran with.
+  std::mutex mutex;
+  std::vector<double> budgets;
+  ServeOptions options;
+  options.jobs = 1;
+  options.default_timeout_seconds = 30.0;
+  options.handler = [&](const Request& req, store::CertStore*, double,
+                        const CancelToken&) {
+    std::lock_guard<std::mutex> lock(mutex);
+    budgets.push_back(req.timeout_seconds);
+    return Response{verify::Status::Valid,
+                    "result id=" + std::to_string(req.id) + " status=valid"};
+  };
+  const std::string tail = " 0 eq-num - sylvester 10";
+  // `wait` between requests: the pool does not guarantee completion order,
+  // the budgets vector should.
+  const std::string transcript = drive_with(
+      options, "deadline 5\n"
+               "verify a" + tail + " 60\nwait\n"   // capped: 60 -> 5
+               "verify b" + tail + " 2\nwait\n" +  // under the cap: stays 2
+               "deadline off\n"
+               "verify c" + tail + " 60\n"         // cap removed: stays 60
+               "wait\nquit\n");
+  EXPECT_NE(transcript.find("ok deadline=5"), std::string::npos);
+  EXPECT_NE(transcript.find("ok deadline=off"), std::string::npos);
+  ASSERT_EQ(budgets.size(), 3u);
+  EXPECT_EQ(budgets[0], 5.0);
+  EXPECT_EQ(budgets[1], 2.0);
+  EXPECT_EQ(budgets[2], 60.0);
+}
+
+TEST_F(ServiceTest, MaxInflightShedsWithBusyOnStdin) {
+  ServeOptions options;
+  options.jobs = 2;
+  options.max_inflight = 1;
+  options.handler = [](const Request& req, store::CertStore*, double,
+                       const CancelToken&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    return Response{verify::Status::Valid,
+                    "result id=" + std::to_string(req.id) + " status=valid"};
+  };
+  const std::string tail = " 0 eq-num - sylvester 10";
+  const std::string transcript = drive_with(
+      options, "verify a" + tail + "\nverify b" + tail + "\nverify c" + tail +
+                   "\nwait\nquit\n");
+  // One admission slot held for 300 ms while stdin feeds three requests:
+  // the first is admitted, the other two are shed with `busy` — cheap,
+  // immediate, and the stream keeps flowing.
+  std::size_t busy = 0, results = 0;
+  std::istringstream is{transcript};
+  for (std::string line; std::getline(is, line);) {
+    if (line.rfind("busy id=", 0) == 0) ++busy;
+    if (line.rfind("result id=", 0) == 0) ++results;
+  }
+  EXPECT_EQ(busy, 2u) << transcript;
+  EXPECT_EQ(results, 1u) << transcript;
+  EXPECT_NE(transcript.find("idle"), std::string::npos);
+}
+
+TEST_F(ServiceTest, BinaryGarbageOnStdinEarnsErrorLinesAndKeepsServing) {
+  int errors = 0;
+  std::string script;
+  script += "\x01\x02\xfe garbage\n";
+  script += std::string{"\x00\x7f more\n", 8};
+  script += "verify " + case_path() + " 0 eq-num - sylvester 10\nwait\nquit\n";
+  const std::string transcript = drive(script, nullptr, &errors);
+  EXPECT_EQ(errors, 2);
+  EXPECT_NE(result_line(transcript, 1).find("status=valid"),
+            std::string::npos)
+      << transcript;
+}
+
+TEST_F(ServiceTest, NegativeCacheRepaysSynthFailures) {
+  store::CertStore store{cache_path()};
+  // Handler counting invocations, always failing synthesis — through the
+  // REAL pipeline path the service wires (negative_ttl_seconds plumbed
+  // from ServeOptions into VerifyContext) this would need an unstable
+  // case; here the service-level plumbing is what's under test, so the
+  // store is driven directly.
+  std::atomic<int> calls{0};
+  ServeOptions options;
+  options.jobs = 1;
+  options.store = &store;
+  options.negative_ttl_seconds = 60.0;
+  options.handler = [&](const Request& req, store::CertStore* s,
+                        double negative_ttl_seconds, const CancelToken&) {
+    calls.fetch_add(1);
+    EXPECT_EQ(negative_ttl_seconds, 60.0);  // ServeOptions reached the job
+    if (auto neg = s->lookup_negative("deadbeef", /*request_budget=*/1.0))
+      return Response{verify::Status::SynthFailed,
+                      "result id=" + std::to_string(req.id) +
+                          " status=synth-failed cache=neg-hit"};
+    s->insert_negative("deadbeef", "synth-failed", 0.0,
+                       negative_ttl_seconds);
+    return Response{verify::Status::SynthFailed,
+                    "result id=" + std::to_string(req.id) +
+                        " status=synth-failed cache=miss"};
+  };
+  const std::string tail = " 0 eq-num - sylvester 10";
+  const std::string transcript = drive_with(
+      options, "verify a" + tail + "\nwait\nverify a" + tail +
+                   "\nwait\nstats\nquit\n");
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_NE(result_line(transcript, 1).find("cache=miss"), std::string::npos);
+  EXPECT_NE(result_line(transcript, 2).find("cache=neg-hit"),
+            std::string::npos);
+  // The stats line carries the per-tier negative counters.
+  EXPECT_NE(transcript.find("neg_hits=1"), std::string::npos) << transcript;
+  EXPECT_NE(transcript.find("neg_writes=1"), std::string::npos) << transcript;
 }
 
 TEST_F(ServiceTest, MetricsCommandExposesAndIncreasesAcrossRequests) {

@@ -10,11 +10,13 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
+#include <thread>
 
 #include "core/parallel.hpp"
 
@@ -282,6 +284,76 @@ TEST(CertStore, UppercaseAndGarbageKeysShardSafely) {
     ASSERT_NE(hit, nullptr) << key;
     expect_records_equal(rec, *hit);
   }
+}
+
+// ------------------------------------------------------- negative tier
+
+TEST(CertStoreNegative, RemembersReasonWithTtlAndCountsPerTier) {
+  TempDir dir{"neg"};
+  CertStore store{dir.path()};
+  EXPECT_FALSE(store.lookup_negative("k", 1.0).has_value());
+  store.insert_negative("k", "synth-failed", /*budget_seconds=*/0.0,
+                        /*ttl_seconds=*/60.0);
+  const auto hit = store.lookup_negative("k", 123.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->reason, "synth-failed");
+  const StoreStats s = store.stats();
+  EXPECT_EQ(s.negative_writes, 1u);
+  EXPECT_EQ(s.negative_hits, 1u);
+  // Negatives never become certificates: the positive tiers are untouched.
+  EXPECT_EQ(s.writes, 0u);
+  EXPECT_EQ(s.memory_entries, 0u);
+}
+
+TEST(CertStoreNegative, EntriesExpireAfterTheTtl) {
+  TempDir dir{"negttl"};
+  CertStore store{dir.path()};
+  store.insert_negative("gone", "timeout-synthesis", 5.0, /*ttl=*/0.02);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_FALSE(store.lookup_negative("gone", 1.0).has_value());
+  // TTL <= 0 disables the write entirely.
+  store.insert_negative("noop", "synth-failed", 0.0, 0.0);
+  EXPECT_FALSE(store.lookup_negative("noop", 1.0).has_value());
+  EXPECT_EQ(store.stats().negative_writes, 1u);
+}
+
+TEST(CertStoreNegative, TimeoutEntriesShieldOnlySmallerOrEqualBudgets) {
+  TempDir dir{"negbudget"};
+  CertStore store{dir.path()};
+  store.insert_negative("t", "timeout-validation", /*budget=*/10.0, 60.0);
+  // A run that timed out at 10 s shields retries with <= 10 s of budget...
+  EXPECT_TRUE(store.lookup_negative("t", 10.0).has_value());
+  EXPECT_TRUE(store.lookup_negative("t", 1.0).has_value());
+  // ...but a bigger budget deserves a fresh attempt.
+  EXPECT_FALSE(store.lookup_negative("t", 30.0).has_value());
+  // budget_seconds == 0 marks a budget-independent failure (synth-failed):
+  // it shields any budget, and a budget-bound entry never replaces it.
+  store.insert_negative("s", "synth-failed", 0.0, 60.0);
+  store.insert_negative("s", "timeout-synthesis", 10.0, 60.0);
+  const auto hit = store.lookup_negative("s", 1e9);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->reason, "synth-failed");
+}
+
+TEST(CertStoreNegative, MemoryEntriesGaugeTracksTheLruExactly) {
+  TempDir dir{"negentries"};
+  CertStore store{dir.path(), /*memory_capacity=*/16};  // 1 per shard
+  EXPECT_EQ(store.stats().memory_entries, 0u);
+  const std::string key = request_key(sample_request());
+  store.insert(key, sample_record());
+  EXPECT_EQ(store.stats().memory_entries, 1u);
+  store.insert(key, sample_record());  // replace, not grow
+  EXPECT_EQ(store.stats().memory_entries, 1u);
+  // Keys colliding in one shard evict (capacity 1 per shard): the gauge
+  // follows the evictions instead of counting monotonically.
+  std::size_t inserted = 1;
+  for (int i = 0; i < 6; ++i) {
+    store.insert(request_key(sample_request(2.0 + i)), sample_record());
+    ++inserted;
+  }
+  const std::size_t entries = store.stats().memory_entries;
+  EXPECT_LE(entries, inserted);
+  EXPECT_GE(entries, 1u);
 }
 
 // ---------------------------------------------------------- concurrency

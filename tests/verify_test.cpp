@@ -345,5 +345,47 @@ TEST_F(VerifyPipelineTest, BudgetPolicySemantics) {
                  << s << " s, validation " << v << " s)";
 }
 
+TEST_F(VerifyPipelineTest, NegativeCacheRepaysSynthFailedWithoutRerunning) {
+  // An unstable closed loop has no Lyapunov function: the first request
+  // burns a real synthesis attempt (cache=miss, synth-failed), the retry
+  // answers from the store's negative tier (cache=neg-hit) without
+  // touching a kernel.  synth-failed is budget-independent, so even a
+  // much larger retry budget is shielded.
+  store::CertStore store{(dir_ / "cache").string()};
+  verify::VerifyContext ctx;
+  ctx.store = &store;
+  ctx.negative_ttl_seconds = 60.0;
+  verify::VerifyRequest req;
+  req.a = closed_a("size3");
+  for (std::size_t i = 0; i < req.a.rows(); ++i) req.a(i, i) += 100.0;
+  req.method = lyap::Method::LmiAlpha;
+  req.backend = sdp::Backend::NewtonAnalyticCenter;
+  req.engine = smt::Engine::Sylvester;
+  req.digits = 10;
+  req.budget = verify::SharedBudget{30.0};
+
+  const verify::VerifyOutcome cold = verify::run_verify(ctx, req);
+  ASSERT_EQ(cold.status, verify::Status::SynthFailed);
+  EXPECT_EQ(cold.cache, verify::Cache::Miss);
+
+  req.budget = verify::SharedBudget{300.0};  // bigger budget, same answer
+  const verify::VerifyOutcome warm = verify::run_verify(ctx, req);
+  EXPECT_EQ(warm.status, verify::Status::SynthFailed);
+  EXPECT_EQ(warm.cache, verify::Cache::NegativeHit);
+  EXPECT_EQ(std::string{verify::to_string(warm.cache)}, "neg-hit");
+
+  const store::StoreStats s = store.stats();
+  EXPECT_EQ(s.negative_writes, 1u);
+  EXPECT_EQ(s.negative_hits, 1u);
+  EXPECT_EQ(s.writes, 0u);  // a failure never becomes a certificate
+
+  // TTL 0 (the default) opts out entirely: the same retry re-runs.
+  verify::VerifyContext off = ctx;
+  off.negative_ttl_seconds = 0.0;
+  const verify::VerifyOutcome rerun = verify::run_verify(off, req);
+  EXPECT_EQ(rerun.status, verify::Status::SynthFailed);
+  EXPECT_EQ(rerun.cache, verify::Cache::Miss);
+}
+
 }  // namespace
 }  // namespace spiv
